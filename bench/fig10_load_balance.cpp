@@ -1,0 +1,40 @@
+// Reproduces Fig. 10: trends of the load-balancing level β across
+// experiments 1-3.  Expected shape (paper §4.2): the GA improves *local*
+// balance (per-resource β jumps between experiments 1 and 2) while the
+// agent mechanism improves *global* balance (grid-total β jumps between
+// experiments 2 and 3) — "the GA scheduling contributes more to local grid
+// load balancing and agents contribute more to global grid load
+// balancing".
+
+#include <cstdio>
+
+#include "experiment_suite.hpp"
+
+int main() {
+  using namespace gridlb;
+  const auto results = bench::run_experiment_suite();
+
+  std::printf("Fig. 10 — load balancing level beta (%%) by experiment\n\n");
+  bench::print_series(results, "beta%", [](const metrics::MetricsRow& row) {
+    return row.balance * 100.0;
+  });
+
+  const auto& r = results;
+  const auto mean_local = [](const core::ExperimentResult& result) {
+    double sum = 0.0;
+    for (const auto& row : result.report.resources) sum += row.balance;
+    return sum / static_cast<double>(result.report.resources.size());
+  };
+  std::printf("\nshape checks:\n");
+  const auto check = [](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  };
+  check(mean_local(r[1]) > mean_local(r[0]),
+        "GA lifts mean *local* balance (exp1 -> exp2)");
+  check(r[2].report.total.balance - r[1].report.total.balance >
+            r[1].report.total.balance - r[0].report.total.balance,
+        "agents provide the bigger jump in *global* balance (exp2 -> exp3)");
+  check(r[2].report.total.balance > 0.8,
+        "coupled system reaches high global balance (paper: 90%)");
+  return 0;
+}

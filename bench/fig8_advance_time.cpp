@@ -1,0 +1,38 @@
+// Reproduces Fig. 8: trends of the average advance time of application
+// execution completion ε across experiments 1-3, per agent and for the
+// whole grid.  Expected shape (paper §4.2): ε improves monotonically from
+// experiment 1 to 3; heavily-loaded platforms (S11, S12) improve the most,
+// lightly-loaded ones (S1, S2) barely move, and the agent-based mechanism
+// contributes more than the local schedulers.
+
+#include <cstdio>
+
+#include "experiment_suite.hpp"
+
+int main() {
+  using namespace gridlb;
+  const auto results = bench::run_experiment_suite();
+
+  std::printf("Fig. 8 — average advance time eps (s) by experiment\n\n");
+  bench::print_series(results, "eps/s", [](const metrics::MetricsRow& row) {
+    return row.advance_time;
+  });
+
+  const auto& r = results;
+  std::printf("\nshape checks:\n");
+  const auto check = [](bool ok, const char* what) {
+    std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  };
+  check(r[0].report.total.advance_time < r[1].report.total.advance_time,
+        "GA improves grid-average eps over FIFO (exp1 -> exp2)");
+  check(r[1].report.total.advance_time < r[2].report.total.advance_time,
+        "agents improve grid-average eps further (exp2 -> exp3)");
+  // The most overloaded platforms improve the most between exp 1 and 3.
+  const auto improvement = [&r](std::size_t agent) {
+    return r[2].report.resources[agent].advance_time -
+           r[0].report.resources[agent].advance_time;
+  };
+  check(improvement(10) > improvement(0) && improvement(11) > improvement(1),
+        "S11/S12 (overloaded) improve more than S1/S2 (lightly loaded)");
+  return 0;
+}

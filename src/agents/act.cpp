@@ -1,0 +1,54 @@
+#include "agents/act.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace gridlb::agents {
+
+void CapabilityTable::upsert(AgentId agent, ServiceInfo info, SimTime now,
+                             AgentId via) {
+  GRIDLB_REQUIRE(agent.valid(), "ACT entries need a valid agent id");
+  GRIDLB_REQUIRE(via.valid(), "ACT entries need a valid via agent");
+  for (auto& entry : entries_) {
+    if (entry.agent == agent) {
+      entry.via = via;
+      entry.info = std::move(info);
+      entry.updated_at = now;
+      return;
+    }
+  }
+  entries_.push_back(Entry{agent, via, std::move(info), now});
+}
+
+void CapabilityTable::upsert(AgentId agent, ServiceInfo info, SimTime now) {
+  upsert(agent, std::move(info), now, agent);
+}
+
+void CapabilityTable::advance_freetime(AgentId agent, SimTime now,
+                                       double seconds) {
+  GRIDLB_REQUIRE(seconds >= 0.0, "cannot rewind a freetime estimate");
+  for (auto& entry : entries_) {
+    if (entry.agent == agent) {
+      entry.info.freetime = std::max(entry.info.freetime, now) + seconds;
+      return;
+    }
+  }
+}
+
+const CapabilityTable::Entry* CapabilityTable::find(AgentId agent) const {
+  for (const auto& entry : entries_) {
+    if (entry.agent == agent) return &entry;
+  }
+  return nullptr;
+}
+
+double CapabilityTable::max_staleness(SimTime now) const {
+  double staleness = 0.0;
+  for (const auto& entry : entries_) {
+    staleness = std::max(staleness, now - entry.updated_at);
+  }
+  return staleness;
+}
+
+}  // namespace gridlb::agents

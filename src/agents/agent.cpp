@@ -1,0 +1,381 @@
+#include "agents/agent.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "pace/hardware.hpp"
+
+namespace gridlb::agents {
+
+Agent::Agent(sim::Engine& engine, sim::Network& network,
+             pace::CachedEvaluator& evaluator,
+             const pace::ApplicationCatalogue& catalogue, AgentConfig config,
+             sched::LocalScheduler& scheduler)
+    : engine_(engine),
+      network_(network),
+      evaluator_(evaluator),
+      catalogue_(catalogue),
+      config_(std::move(config)),
+      scheduler_(scheduler) {
+  GRIDLB_REQUIRE(config_.id.valid(), "agent needs a valid id");
+  endpoint_ = network_.register_endpoint(
+      config_.address, config_.port,
+      [this](const sim::Message& message) { on_message(message); });
+}
+
+void Agent::set_parent(Agent* parent) {
+  GRIDLB_REQUIRE(parent != this, "an agent cannot be its own parent");
+  parent_ = parent;
+}
+
+void Agent::add_child(Agent* child) {
+  GRIDLB_REQUIRE(child != nullptr && child != this, "invalid child agent");
+  children_.push_back(child);
+}
+
+void Agent::start() {
+  if (!config_.discovery_enabled || config_.pull_period <= 0.0) return;
+  engine_.schedule_periodic(0.0, config_.pull_period,
+                            [this]() { pull_from_neighbours(); });
+}
+
+ServiceInfo Agent::service_snapshot() const {
+  ServiceInfo info;
+  info.agent_address = config_.address;
+  info.agent_port = config_.port;
+  info.local_address = config_.address;
+  info.local_port = config_.port + 9000;  // scheduler's own port (Fig. 5)
+  info.hardware_type =
+      std::string(pace::hardware_name(scheduler_.config().resource.type));
+  info.nproc = scheduler_.config().node_count;
+  info.environments = scheduler_.config().environments;
+  info.freetime = scheduler_.freetime();
+  return info;
+}
+
+std::optional<SimTime> Agent::estimate_completion(
+    const ServiceInfo& info, const Request& request) const {
+  if (std::find(info.environments.begin(), info.environments.end(),
+                request.environment) == info.environments.end()) {
+    return std::nullopt;
+  }
+  const pace::ApplicationModelPtr app = catalogue_.find(request.app_name);
+  if (app == nullptr) return std::nullopt;
+  const auto type = pace::hardware_from_name(info.hardware_type);
+  if (!type) return std::nullopt;
+  const pace::ResourceModel resource = pace::ResourceModel::of(*type);
+
+  // eq. 10: for a homogeneous resource the evaluation function is called
+  // n times; η_r = ω + min_k t_x(k, σ_r).
+  double best = std::numeric_limits<double>::infinity();
+  for (int k = 1; k <= info.nproc; ++k) {
+    best = std::min(best, evaluator_.evaluate(*app, resource, k));
+  }
+  const SimTime now = engine_.now();
+  const double backlog = std::max(0.0, info.freetime - now);
+  return now + backlog + best;
+}
+
+std::optional<double> Agent::expected_occupancy(const ServiceInfo& info,
+                                                const Request& request) const {
+  const pace::ApplicationModelPtr app = catalogue_.find(request.app_name);
+  if (app == nullptr || info.nproc <= 0) return std::nullopt;
+  const auto type = pace::hardware_from_name(info.hardware_type);
+  if (!type) return std::nullopt;
+  const pace::ResourceModel resource = pace::ResourceModel::of(*type);
+  double best_exec = std::numeric_limits<double>::infinity();
+  int best_k = 1;
+  for (int k = 1; k <= info.nproc; ++k) {
+    const double exec = evaluator_.evaluate(*app, resource, k);
+    if (exec < best_exec) {
+      best_exec = exec;
+      best_k = k;
+    }
+  }
+  return best_exec * static_cast<double>(best_k) /
+         static_cast<double>(info.nproc);
+}
+
+bool Agent::already_visited(const Request& request, AgentId agent) const {
+  return std::find(request.visited.begin(), request.visited.end(), agent) !=
+         request.visited.end();
+}
+
+Agent* Agent::neighbour_by_id(AgentId agent) const {
+  if (parent_ != nullptr && parent_->id() == agent) return parent_;
+  for (Agent* child : children_) {
+    if (child->id() == agent) return child;
+  }
+  return nullptr;
+}
+
+std::optional<AgentId> Agent::neighbour_for_endpoint(
+    sim::EndpointId endpoint) const {
+  if (parent_ != nullptr && parent_->endpoint() == endpoint) {
+    return parent_->id();
+  }
+  for (const Agent* child : children_) {
+    if (child->endpoint() == endpoint) return child->id();
+  }
+  return std::nullopt;
+}
+
+void Agent::receive_request(Request request, bool final_dispatch) {
+  ++stats_.requests_received;
+  const auto hops = static_cast<std::uint64_t>(request.visited.size());
+
+  if (final_dispatch || !config_.discovery_enabled) {
+    stats_.hops_accumulated += hops;
+    if (hops == 0) ++stats_.zero_hop_dispatches;
+    dispatch_local(std::move(request));
+    return;
+  }
+
+  if (hops >= static_cast<std::uint64_t>(config_.max_hops)) {
+    // Routing budget exhausted (only reachable with transitive routing
+    // gone degenerate): execute here rather than bounce forever.
+    if (config_.strict_failure) {
+      ++stats_.dropped;
+      return;
+    }
+    ++stats_.fallback_dispatches;
+    stats_.hops_accumulated += hops;
+    dispatch_local(std::move(request));
+    return;
+  }
+  if (!already_visited(request, config_.id)) {
+    request.visited.push_back(config_.id);
+  }
+
+  // 1. Own service first.
+  const ServiceInfo own = service_snapshot();
+  if (const auto eta = estimate_completion(own, request);
+      eta && *eta <= request.deadline) {
+    log::debug("agent ", config_.name, " t=", engine_.now(), " task ",
+               request.task.str(), " matched locally, eta=", *eta);
+    stats_.hops_accumulated += hops;
+    if (hops == 0) ++stats_.zero_hop_dispatches;
+    dispatch_local(std::move(request));
+    return;
+  }
+
+  // 2. Advertised services: best requirement/resource match.  Each entry
+  // is routed through the neighbour it was learned from (for a
+  // neighbour's own service, the neighbour itself).
+  Agent* best_route = nullptr;
+  AgentId best_described;
+  const ServiceInfo* best_info = nullptr;
+  SimTime best_eta = std::numeric_limits<double>::infinity();
+  for (const auto& entry : act_.entries()) {
+    if (entry.agent == config_.id) continue;
+    if (already_visited(request, entry.agent)) continue;
+    Agent* route = neighbour_by_id(entry.via);
+    if (route == nullptr) continue;
+    if (const auto eta = estimate_completion(entry.info, request);
+        eta && *eta <= request.deadline && *eta < best_eta) {
+      best_eta = *eta;
+      best_route = route;
+      best_described = entry.agent;
+      best_info = &entry.info;
+    }
+  }
+  if (best_route != nullptr) {
+    ++stats_.forwarded_match;
+    log::debug("agent ", config_.name, " t=", engine_.now(), " task ",
+               request.task.str(), " forwarded toward agent ",
+               best_described.str(), " via ", best_route->name(),
+               ", eta=", best_eta);
+    if (const auto occupancy = expected_occupancy(*best_info, request)) {
+      act_.advance_freetime(best_described, engine_.now(), *occupancy);
+    }
+    forward(std::move(request), best_route, false);
+    return;
+  }
+
+  // 3. No advertised service meets the requirement: escalate.
+  if (parent_ != nullptr && !already_visited(request, parent_->id())) {
+    ++stats_.forwarded_up;
+    log::debug("agent ", config_.name, " t=", engine_.now(), " task ",
+               request.task.str(), " escalated to ", parent_->name());
+    forward(std::move(request), parent_, false);
+    return;
+  }
+
+  // 4. Head of the hierarchy (or dead end): discovery terminated
+  // unsuccessfully in the paper's sense.
+  if (config_.strict_failure) {
+    ++stats_.dropped;
+    log::warn("agent ", config_.name, " t=", engine_.now(), " task ",
+              request.task.str(), " dropped: no grid resource matches");
+    return;
+  }
+  ++stats_.fallback_dispatches;
+  // Best effort: smallest estimated completion among the own resource and
+  // every known service, deadline or not.
+  Agent* target = nullptr;  // nullptr = self
+  const ServiceInfo* target_info = nullptr;
+  SimTime target_eta =
+      estimate_completion(own, request)
+          .value_or(std::numeric_limits<double>::infinity());
+  for (const auto& entry : act_.entries()) {
+    // Final dispatch executes at the recipient, so only services owned by
+    // a direct neighbour qualify here.
+    if (entry.via != entry.agent) continue;
+    Agent* neighbour = neighbour_by_id(entry.agent);
+    if (neighbour == nullptr) continue;
+    if (const auto eta = estimate_completion(entry.info, request);
+        eta && *eta < target_eta) {
+      target_eta = *eta;
+      target = neighbour;
+      target_info = &entry.info;
+    }
+  }
+  if (target == nullptr) {
+    stats_.hops_accumulated += hops;
+    if (hops == 0) ++stats_.zero_hop_dispatches;
+    dispatch_local(std::move(request));
+  } else {
+    log::debug("agent ", config_.name, " t=", engine_.now(), " task ",
+               request.task.str(), " best-effort dispatch to ",
+               target->name());
+    if (const auto occupancy = expected_occupancy(*target_info, request)) {
+      act_.advance_freetime(target->id(), engine_.now(), *occupancy);
+    }
+    forward(std::move(request), target, true);
+  }
+}
+
+void Agent::dispatch_local(Request request) {
+  ++stats_.dispatched_local;
+  const pace::ApplicationModelPtr app = catalogue_.find(request.app_name);
+  GRIDLB_REQUIRE(app != nullptr,
+                 "dispatch of unknown application " + request.app_name);
+  if (request.origin) {
+    pending_results_.push_back(
+        PendingResult{request.task, *request.origin, request.email});
+  }
+  sched::Task task;
+  task.id = request.task;
+  task.app = app;
+  task.arrival = engine_.now();
+  task.deadline = request.deadline;
+  task.environment = request.environment;
+  scheduler_.submit(std::move(task));
+  if (config_.push_on_dispatch) push_to_neighbours();
+}
+
+void Agent::on_task_completed(const sched::CompletionRecord& record) {
+  const auto it = std::find_if(
+      pending_results_.begin(), pending_results_.end(),
+      [&record](const PendingResult& pending) {
+        return pending.task == record.task;
+      });
+  if (it == pending_results_.end()) return;  // fire-and-forget submission
+
+  ExecutionResult result;
+  result.task = record.task;
+  result.app_name = record.app_name;
+  result.resource_name = config_.name;
+  result.start = record.start;
+  result.completion = record.end;
+  result.deadline = record.deadline;
+  result.email = it->email;
+  const sim::EndpointId origin = it->origin;
+  pending_results_.erase(it);
+  ++stats_.results_sent;
+  network_.send(endpoint_, origin, to_xml(result));
+}
+
+void Agent::forward(Request request, Agent* to, bool final_dispatch) {
+  GRIDLB_REQUIRE(to != nullptr, "cannot forward to a null agent");
+  std::string payload = to_xml(request);
+  if (final_dispatch) {
+    // The `final` marker rides as a root attribute, like taskid/visited.
+    auto document = xml::parse(payload);
+    document->set_attribute("final", "1");
+    payload = xml::write(*document);
+  }
+  network_.send(endpoint_, to->endpoint(), payload);
+}
+
+void Agent::pull_from_neighbours() {
+  xml::Element pull("agentgrid");
+  pull.set_attribute("type", "pull");
+  const std::string payload = xml::write(pull);
+  if (parent_ != nullptr) {
+    ++stats_.pulls_sent;
+    network_.send(endpoint_, parent_->endpoint(), payload);
+  }
+  for (const Agent* child : children_) {
+    ++stats_.pulls_sent;
+    network_.send(endpoint_, child->endpoint(), payload);
+  }
+}
+
+void Agent::push_to_neighbours() {
+  const std::string payload = to_xml(service_snapshot());
+  if (parent_ != nullptr) {
+    network_.send(endpoint_, parent_->endpoint(), payload);
+  }
+  for (const Agent* child : children_) {
+    network_.send(endpoint_, child->endpoint(), payload);
+  }
+}
+
+void Agent::on_message(const sim::Message& message) {
+  const auto document = xml::parse(message.payload);
+  GRIDLB_REQUIRE(document->name() == "agentgrid",
+                 "unexpected message document: " + document->name());
+  const auto type = document->attribute("type");
+  GRIDLB_REQUIRE(type.has_value(), "agentgrid message lacks a type");
+
+  if (*type == "pull") {
+    handle_pull(message);
+  } else if (*type == "service") {
+    handle_advertisement(message);
+  } else if (*type == "request") {
+    const bool final_dispatch = document->attribute("final") == "1";
+    receive_request(request_from_xml(message.payload), final_dispatch);
+  } else {
+    GRIDLB_REQUIRE(false, "unknown agentgrid message type");
+  }
+}
+
+void Agent::handle_pull(const sim::Message& message) {
+  network_.send(endpoint_, message.from, to_xml(service_snapshot()));
+  if (config_.scope != AdvertisementScope::kTransitive) return;
+  // Relay known services, split-horizon: never back toward the neighbour
+  // they were learned from, and never the requester's own service.
+  const auto requester = neighbour_for_endpoint(message.from);
+  if (!requester) return;
+  for (const auto& entry : act_.entries()) {
+    if (entry.via == *requester || entry.agent == *requester) continue;
+    auto document = xml::parse(to_xml(entry.info));
+    document->set_attribute("agentid", entry.agent.str());
+    network_.send(endpoint_, message.from, xml::write(*document));
+  }
+}
+
+void Agent::handle_advertisement(const sim::Message& message) {
+  const auto sender = neighbour_for_endpoint(message.from);
+  if (!sender) {
+    log::warn("agent ", config_.name,
+              " ignoring advertisement from non-neighbour endpoint");
+    return;
+  }
+  ++stats_.advertisements_received;
+  // A relayed advertisement names the described resource in the `agentid`
+  // attribute; a plain one describes the sender itself.
+  AgentId described = *sender;
+  const auto document = xml::parse(message.payload);
+  if (const auto agentid = document->attribute("agentid")) {
+    described = AgentId(std::stoull(std::string(*agentid)));
+  }
+  if (described == config_.id) return;  // echo of our own service
+  act_.upsert(described, service_info_from_xml(message.payload),
+              engine_.now(), *sender);
+}
+
+}  // namespace gridlb::agents

@@ -1,0 +1,122 @@
+#include "agents/agent_system.hpp"
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace gridlb::agents {
+
+AgentSystem::AgentSystem(sim::Engine& engine,
+                         const pace::ApplicationCatalogue& catalogue,
+                         SystemConfig config,
+                         metrics::MetricsCollector* collector)
+    : engine_(engine), config_(std::move(config)) {
+  GRIDLB_REQUIRE(!config_.resources.empty(), "grid needs >= 1 resource");
+
+  network_ = std::make_unique<sim::Network>(engine_, config_.network_latency);
+  engine_pace_ = std::make_unique<pace::EvaluationEngine>();
+  evaluator_ = std::make_unique<pace::CachedEvaluator>(*engine_pace_);
+
+  Rng seeder(config_.seed);
+  int heads = 0;
+  for (std::size_t i = 0; i < config_.resources.size(); ++i) {
+    const ResourceSpec& spec = config_.resources[i];
+    GRIDLB_REQUIRE(!spec.name.empty(), "resource needs a name");
+    GRIDLB_REQUIRE(
+        spec.parent < static_cast<int>(i),
+        "parents must precede children in the resource list: " + spec.name);
+    if (spec.parent < 0) {
+      ++heads;
+      head_index_ = i;
+    }
+
+    const AgentId id(i + 1);
+    if (collector != nullptr) {
+      collector->add_resource(id, spec.name, spec.node_count);
+    }
+
+    sched::LocalScheduler::Config scheduler_config;
+    scheduler_config.resource_id = id;
+    scheduler_config.resource = pace::ResourceModel::of(spec.hardware);
+    scheduler_config.node_count = spec.node_count;
+    scheduler_config.policy = config_.policy;
+    scheduler_config.fifo_objective = config_.fifo_objective;
+    scheduler_config.ga = config_.ga;
+    scheduler_config.seed = seeder.next_u64();
+    scheduler_config.prediction_error = config_.prediction_error;
+    const std::size_t agent_index = i;
+    schedulers_.push_back(std::make_unique<sched::LocalScheduler>(
+        engine_, *evaluator_, std::move(scheduler_config),
+        [this, collector, agent_index](const sched::CompletionRecord& record) {
+          if (collector != nullptr) collector->record(record);
+          // The agent may not exist yet while the system is being built,
+          // but completions only fire once the simulation runs.
+          if (agent_index < agents_.size()) {
+            agents_[agent_index]->on_task_completed(record);
+          }
+        }));
+
+    AgentConfig agent_config;
+    agent_config.id = id;
+    agent_config.name = spec.name;
+    agent_config.address = spec.name + ".gridlb.sim";
+    agent_config.port = 1000 + static_cast<int>(i);
+    agent_config.discovery_enabled = config_.discovery_enabled;
+    agent_config.strict_failure = config_.strict_failure;
+    agent_config.pull_period = config_.pull_period;
+    agent_config.push_on_dispatch = config_.push_on_dispatch;
+    agent_config.scope = config_.scope;
+    agents_.push_back(std::make_unique<Agent>(
+        engine_, *network_, *evaluator_, catalogue, std::move(agent_config),
+        *schedulers_.back()));
+  }
+  GRIDLB_REQUIRE(heads == 1, "the hierarchy must have exactly one head");
+
+  if (config_.churn.enabled) {
+    Rng churn_seeder(config_.churn.seed);
+    for (std::size_t i = 0; i < schedulers_.size(); ++i) {
+      const int nodes = config_.resources[i].node_count;
+      availability_.push_back(
+          std::make_unique<sched::NodeAvailability>(nodes));
+      sched::schedule_availability(
+          engine_, *availability_.back(),
+          sched::random_availability_script(nodes, config_.churn.horizon,
+                                            config_.churn.mtbf,
+                                            config_.churn.mttr,
+                                            churn_seeder.next_u64()));
+      monitors_.push_back(std::make_unique<sched::ResourceMonitor>(
+          engine_, *schedulers_[i], *availability_.back(),
+          config_.churn.poll_period));
+    }
+  }
+
+  for (std::size_t i = 0; i < config_.resources.size(); ++i) {
+    const int parent = config_.resources[i].parent;
+    if (parent < 0) continue;
+    agents_[i]->set_parent(agents_[static_cast<std::size_t>(parent)].get());
+    agents_[static_cast<std::size_t>(parent)]->add_child(agents_[i].get());
+  }
+}
+
+void AgentSystem::start() {
+  for (const auto& agent : agents_) agent->start();
+  for (const auto& monitor : monitors_) monitor->start();
+}
+
+Agent& AgentSystem::agent(std::size_t index) {
+  GRIDLB_REQUIRE(index < agents_.size(), "agent index out of range");
+  return *agents_[index];
+}
+
+const Agent& AgentSystem::agent(std::size_t index) const {
+  GRIDLB_REQUIRE(index < agents_.size(), "agent index out of range");
+  return *agents_[index];
+}
+
+Agent& AgentSystem::agent_named(const std::string& name) {
+  for (const auto& agent : agents_) {
+    if (agent->name() == name) return *agent;
+  }
+  GRIDLB_REQUIRE(false, "unknown agent name: " + name);
+}
+
+}  // namespace gridlb::agents

@@ -1,0 +1,98 @@
+// Construction of the whole agent hierarchy (paper Fig. 4 / Fig. 7).
+//
+// AgentSystem owns every piece of one grid: the simulated network, the
+// PACE evaluation engine and cache, one LocalScheduler per resource, and
+// one Agent per resource wired into a hierarchy of homogeneous agents.
+// Completion records flow into an optional MetricsCollector.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agents/agent.hpp"
+#include "metrics/metrics.hpp"
+#include "pace/hardware.hpp"
+#include "sched/resource_monitor.hpp"
+
+namespace gridlb::agents {
+
+/// One grid resource and its position in the hierarchy.
+struct ResourceSpec {
+  std::string name;  ///< agent name, e.g. "S1"
+  pace::HardwareType hardware = pace::HardwareType::kSgiOrigin2000;
+  int node_count = 16;
+  /// Index of the upper agent within the spec list; -1 marks the head.
+  /// Parents must precede children in the list (topological order).
+  int parent = -1;
+};
+
+/// Optional node-churn model applied identically to every resource.
+struct ChurnConfig {
+  bool enabled = false;
+  double mtbf = 600.0;        ///< mean node up-time, seconds
+  double mttr = 120.0;        ///< mean repair time, seconds
+  double horizon = 1200.0;    ///< failures generated until this time
+  double poll_period = 300.0; ///< resource-monitor query period (paper: 5 min)
+  std::uint64_t seed = 7;
+};
+
+struct SystemConfig {
+  std::vector<ResourceSpec> resources;
+  sched::SchedulerPolicy policy = sched::SchedulerPolicy::kGa;
+  sched::FifoObjective fifo_objective = sched::FifoObjective::kMinExecution;
+  sched::GaConfig ga;
+  bool discovery_enabled = true;
+  bool strict_failure = false;
+  double pull_period = 10.0;       ///< case study: ten seconds
+  bool push_on_dispatch = false;
+  AdvertisementScope scope = AdvertisementScope::kOwnService;
+  double network_latency = 0.05;   ///< one-way message delay, seconds
+  std::uint64_t seed = 42;         ///< per-scheduler GA seeds derive from it
+  double prediction_error = 0.0;   ///< see LocalScheduler::Config
+  ChurnConfig churn;
+};
+
+class AgentSystem {
+ public:
+  /// Builds (but does not start) the system.  `collector` may be null; if
+  /// given, every resource is registered and completions are recorded.
+  AgentSystem(sim::Engine& engine, const pace::ApplicationCatalogue& catalogue,
+              SystemConfig config, metrics::MetricsCollector* collector);
+
+  AgentSystem(const AgentSystem&) = delete;
+  AgentSystem& operator=(const AgentSystem&) = delete;
+
+  /// Arms periodic advertisement on every agent.
+  void start();
+
+  [[nodiscard]] std::size_t size() const { return agents_.size(); }
+  [[nodiscard]] Agent& agent(std::size_t index);
+  [[nodiscard]] const Agent& agent(std::size_t index) const;
+  /// Agent by name ("S3"); throws for unknown names.
+  [[nodiscard]] Agent& agent_named(const std::string& name);
+  [[nodiscard]] Agent& head() { return agent(head_index_); }
+
+  [[nodiscard]] sim::Network& network() { return *network_; }
+  [[nodiscard]] pace::CachedEvaluator& evaluator() { return *evaluator_; }
+  [[nodiscard]] const SystemConfig& config() const { return config_; }
+  /// Per-resource monitors (empty unless churn is enabled).
+  [[nodiscard]] const std::vector<std::unique_ptr<sched::ResourceMonitor>>&
+  monitors() const {
+    return monitors_;
+  }
+
+ private:
+  sim::Engine& engine_;
+  SystemConfig config_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<pace::EvaluationEngine> engine_pace_;
+  std::unique_ptr<pace::CachedEvaluator> evaluator_;
+  std::vector<std::unique_ptr<sched::LocalScheduler>> schedulers_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::vector<std::unique_ptr<sched::NodeAvailability>> availability_;
+  std::vector<std::unique_ptr<sched::ResourceMonitor>> monitors_;
+  std::size_t head_index_ = 0;
+};
+
+}  // namespace gridlb::agents

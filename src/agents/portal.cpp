@@ -1,0 +1,75 @@
+#include "agents/portal.hpp"
+
+#include "agents/request.hpp"
+#include "common/assert.hpp"
+#include "common/log.hpp"
+#include "xml/xml.hpp"
+
+namespace gridlb::agents {
+
+Portal::Portal(sim::Engine& engine, sim::Network& network,
+               const pace::ApplicationCatalogue& catalogue,
+               metrics::MetricsCollector* collector)
+    : engine_(engine),
+      network_(network),
+      catalogue_(catalogue),
+      collector_(collector) {
+  endpoint_ = network_.register_endpoint(
+      "portal.gridlb.sim", 80,
+      [this](const sim::Message& message) { on_message(message); });
+}
+
+TaskId Portal::submit(Agent& entry, const std::string& app_name,
+                      SimTime deadline, const std::string& environment,
+                      const std::string& email) {
+  GRIDLB_REQUIRE(catalogue_.find(app_name) != nullptr,
+                 "unknown application: " + app_name);
+  GRIDLB_REQUIRE(deadline >= engine_.now(),
+                 "deadline lies before submission time");
+
+  Request request;
+  request.task = TaskId(++submitted_);
+  request.app_name = app_name;
+  request.binary_file = "/gridlb/binary/" + app_name;
+  request.input_file = "/gridlb/binary/" + app_name + ".input";
+  request.model_name = "/gridlb/model/" + app_name;
+  request.environment = environment;
+  request.deadline = deadline;
+  request.email = email;
+  request.origin = endpoint_;
+
+  submit_times_.resize(static_cast<std::size_t>(submitted_) + 1, kNoTime);
+  submit_times_[static_cast<std::size_t>(submitted_)] = engine_.now();
+
+  if (collector_ != nullptr) collector_->on_submission(engine_.now());
+  network_.send(endpoint_, entry.endpoint(), to_xml(request));
+  return request.task;
+}
+
+void Portal::on_message(const sim::Message& message) {
+  // The portal only ever receives result documents ("the task execution
+  // results are sent directly back to the user").
+  const auto document = xml::parse(message.payload);
+  if (document->attribute("type") != "result") {
+    log::warn("portal ignoring unexpected ", message.payload.size(),
+              "-byte message");
+    return;
+  }
+  Outcome outcome;
+  outcome.result = result_from_xml(message.payload);
+  outcome.delivered = engine_.now();
+  const auto task_value = outcome.result.task.value();
+  if (outcome.result.task.valid() && task_value < submit_times_.size()) {
+    outcome.submitted = submit_times_[static_cast<std::size_t>(task_value)];
+  }
+  outcomes_.push_back(std::move(outcome));
+}
+
+double Portal::mean_turnaround() const {
+  if (outcomes_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& outcome : outcomes_) sum += outcome.turnaround();
+  return sum / static_cast<double>(outcomes_.size());
+}
+
+}  // namespace gridlb::agents

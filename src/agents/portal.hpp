@@ -1,0 +1,71 @@
+// The user portal (paper §3.2, Fig. 6).
+//
+// Users submit application-execution requests destined for the grid
+// through the portal; each request names the application (binary + PACE
+// model), the required environment, the deadline and contact information.
+// The portal is itself a network endpoint: requests travel to the chosen
+// entry agent as Fig. 6 XML documents over the simulated network, exactly
+// like inter-agent traffic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agents/agent.hpp"
+#include "agents/result.hpp"
+#include "metrics/metrics.hpp"
+#include "pace/application_model.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+
+namespace gridlb::agents {
+
+class Portal {
+ public:
+  /// `collector` may be null.
+  Portal(sim::Engine& engine, sim::Network& network,
+         const pace::ApplicationCatalogue& catalogue,
+         metrics::MetricsCollector* collector);
+
+  /// Submits one request to `entry` now.  `deadline` is absolute
+  /// simulation time.  Returns the assigned task id.
+  TaskId submit(Agent& entry, const std::string& app_name, SimTime deadline,
+                const std::string& environment = "test",
+                const std::string& email = "user@gridlb.sim");
+
+  [[nodiscard]] std::uint64_t requests_sent() const { return submitted_; }
+
+  /// One delivered execution result plus the user-visible turnaround
+  /// (result delivery time − submission time, network latency included).
+  struct Outcome {
+    ExecutionResult result;
+    SimTime submitted = 0.0;
+    SimTime delivered = 0.0;
+    [[nodiscard]] double turnaround() const { return delivered - submitted; }
+  };
+
+  /// Results received so far, delivery order.
+  [[nodiscard]] const std::vector<Outcome>& outcomes() const {
+    return outcomes_;
+  }
+  [[nodiscard]] std::uint64_t results_received() const {
+    return outcomes_.size();
+  }
+  /// Mean turnaround over delivered results (0 when none).
+  [[nodiscard]] double mean_turnaround() const;
+
+ private:
+  void on_message(const sim::Message& message);
+
+  sim::Engine& engine_;
+  sim::Network& network_;
+  const pace::ApplicationCatalogue& catalogue_;
+  metrics::MetricsCollector* collector_;
+  sim::EndpointId endpoint_;
+  std::uint64_t submitted_ = 0;
+  std::vector<Outcome> outcomes_;
+  /// Submission times by task id (dense: task ids are 1-based serials).
+  std::vector<SimTime> submit_times_;
+};
+
+}  // namespace gridlb::agents

@@ -1,0 +1,89 @@
+#include "agents/request.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace gridlb::agents {
+
+std::string to_xml(const Request& request) {
+  xml::Element root("agentgrid");
+  root.set_attribute("type", "request");
+  root.set_attribute("taskid", request.task.str());
+  if (request.origin) {
+    root.set_attribute("origin", std::to_string(*request.origin));
+  }
+  if (!request.visited.empty()) {
+    std::ostringstream visited;
+    for (std::size_t i = 0; i < request.visited.size(); ++i) {
+      if (i != 0) visited << ',';
+      visited << request.visited[i].value();
+    }
+    root.set_attribute("visited", visited.str());
+  }
+
+  xml::Element& application = root.add_child("application");
+  application.add_child_with_text("name", request.app_name);
+  xml::Element& binary = application.add_child("binary");
+  binary.add_child_with_text("file", request.binary_file);
+  binary.add_child_with_text("inputfile", request.input_file);
+  xml::Element& performance = application.add_child("performance");
+  performance.add_child_with_text("datatype", "pacemodel");
+  performance.add_child_with_text("modelname", request.model_name);
+
+  xml::Element& requirement = root.add_child("requirement");
+  requirement.add_child_with_text("environment", request.environment);
+  requirement.add_child_with_text("deadline",
+                                  std::to_string(request.deadline));
+
+  root.add_child_with_text("email", request.email);
+  return xml::write(root);
+}
+
+Request request_from_xml(std::string_view document) {
+  const auto root = xml::parse(document);
+  GRIDLB_REQUIRE(root->name() == "agentgrid", "not an agentgrid document");
+  GRIDLB_REQUIRE(root->attribute("type") == "request",
+                 "not a request document");
+
+  Request request;
+  if (const auto taskid = root->attribute("taskid")) {
+    request.task = TaskId(std::stoull(std::string(*taskid)));
+  }
+  if (const auto origin = root->attribute("origin")) {
+    request.origin =
+        static_cast<std::uint32_t>(std::stoul(std::string(*origin)));
+  }
+  if (const auto visited = root->attribute("visited")) {
+    std::istringstream is{std::string(*visited)};
+    std::string token;
+    while (std::getline(is, token, ',')) {
+      request.visited.push_back(AgentId(std::stoull(token)));
+    }
+  }
+
+  const xml::Element* application = root->child("application");
+  GRIDLB_REQUIRE(application != nullptr, "request lacks <application>");
+  request.app_name = application->child_text("name");
+  if (const xml::Element* binary = application->child("binary")) {
+    request.binary_file = binary->child_text("file");
+    request.input_file = binary->child_text("inputfile");
+  }
+  if (const xml::Element* performance = application->child("performance")) {
+    GRIDLB_REQUIRE(performance->child_text("datatype") == "pacemodel",
+                   "unsupported performance data type");
+    request.model_name = performance->child_text("modelname");
+  }
+
+  const xml::Element* requirement = root->child("requirement");
+  GRIDLB_REQUIRE(requirement != nullptr, "request lacks <requirement>");
+  request.environment = requirement->child_text("environment");
+  const std::string deadline_text = requirement->child_text("deadline");
+  GRIDLB_REQUIRE(!deadline_text.empty(), "request lacks a deadline");
+  request.deadline = std::stod(deadline_text);
+
+  request.email = root->child_text("email");
+  return request;
+}
+
+}  // namespace gridlb::agents

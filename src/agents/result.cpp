@@ -1,0 +1,52 @@
+#include "agents/result.hpp"
+
+#include "common/assert.hpp"
+#include "xml/xml.hpp"
+
+namespace gridlb::agents {
+
+std::string to_xml(const ExecutionResult& result) {
+  xml::Element root("agentgrid");
+  root.set_attribute("type", "result");
+  root.set_attribute("taskid", result.task.str());
+
+  xml::Element& application = root.add_child("application");
+  application.add_child_with_text("name", result.app_name);
+
+  xml::Element& execution = root.add_child("execution");
+  execution.add_child_with_text("resource", result.resource_name);
+  execution.add_child_with_text("start", std::to_string(result.start));
+  execution.add_child_with_text("completion",
+                                std::to_string(result.completion));
+  execution.add_child_with_text("deadline", std::to_string(result.deadline));
+
+  root.add_child_with_text("email", result.email);
+  return xml::write(root);
+}
+
+ExecutionResult result_from_xml(std::string_view document) {
+  const auto root = xml::parse(document);
+  GRIDLB_REQUIRE(root->name() == "agentgrid", "not an agentgrid document");
+  GRIDLB_REQUIRE(root->attribute("type") == "result",
+                 "not a result document");
+
+  ExecutionResult result;
+  if (const auto taskid = root->attribute("taskid")) {
+    result.task = TaskId(std::stoull(std::string(*taskid)));
+  }
+  const xml::Element* application = root->child("application");
+  GRIDLB_REQUIRE(application != nullptr, "result lacks <application>");
+  result.app_name = application->child_text("name");
+
+  const xml::Element* execution = root->child("execution");
+  GRIDLB_REQUIRE(execution != nullptr, "result lacks <execution>");
+  result.resource_name = execution->child_text("resource");
+  result.start = std::stod(execution->child_text("start"));
+  result.completion = std::stod(execution->child_text("completion"));
+  result.deadline = std::stod(execution->child_text("deadline"));
+
+  result.email = root->child_text("email");
+  return result;
+}
+
+}  // namespace gridlb::agents

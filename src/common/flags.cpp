@@ -1,0 +1,131 @@
+#include "common/flags.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace gridlb {
+
+void Flags::declare(std::string name, std::string value_hint,
+                    std::string help) {
+  GRIDLB_REQUIRE(!name.empty() && name[0] != '-',
+                 "declare flag names without dashes");
+  GRIDLB_REQUIRE(find_declaration(name) == nullptr,
+                 "flag declared twice: " + name);
+  declarations_.push_back(
+      Declaration{std::move(name), std::move(value_hint), std::move(help)});
+}
+
+const Flags::Declaration* Flags::find_declaration(
+    const std::string& name) const {
+  for (const auto& declaration : declarations_) {
+    if (declaration.name == name) return &declaration;
+  }
+  return nullptr;
+}
+
+std::optional<std::string> Flags::find_value(const std::string& name) const {
+  for (const auto& value : values_) {
+    if (value.name == name) return value.value;
+  }
+  return std::nullopt;
+}
+
+void Flags::parse(int argc, const char* const* argv) {
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (const auto equals = name.find('='); equals != std::string::npos) {
+      value = name.substr(equals + 1);
+      name.erase(equals);
+      have_value = true;
+    }
+    const Declaration* declaration = find_declaration(name);
+    GRIDLB_REQUIRE(declaration != nullptr, "unknown flag: --" + name);
+    const bool wants_value = !declaration->value_hint.empty();
+    if (wants_value && !have_value) {
+      GRIDLB_REQUIRE(i + 1 < argc, "flag --" + name + " needs a value");
+      value = argv[++i];
+      have_value = true;
+    }
+    if (!wants_value && !have_value) value = "true";
+    values_.push_back(Value{std::move(name), std::move(value)});
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return find_value(name).has_value();
+}
+
+std::string Flags::get(const std::string& name,
+                       const std::string& fallback) const {
+  GRIDLB_REQUIRE(find_declaration(name) != nullptr,
+                 "reading undeclared flag: " + name);
+  return find_value(name).value_or(fallback);
+}
+
+int Flags::get_int(const std::string& name, int fallback) const {
+  const auto value = find_value(name);
+  if (!value) {
+    GRIDLB_REQUIRE(find_declaration(name) != nullptr,
+                   "reading undeclared flag: " + name);
+    return fallback;
+  }
+  try {
+    return std::stoi(*value);
+  } catch (const std::exception&) {
+    GRIDLB_REQUIRE(false, "flag --" + name + " expects an integer, got '" +
+                              *value + "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto value = find_value(name);
+  if (!value) {
+    GRIDLB_REQUIRE(find_declaration(name) != nullptr,
+                   "reading undeclared flag: " + name);
+    return fallback;
+  }
+  try {
+    return std::stod(*value);
+  } catch (const std::exception&) {
+    GRIDLB_REQUIRE(false, "flag --" + name + " expects a number, got '" +
+                              *value + "'");
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto value = find_value(name);
+  if (!value) {
+    GRIDLB_REQUIRE(find_declaration(name) != nullptr,
+                   "reading undeclared flag: " + name);
+    return fallback;
+  }
+  if (*value == "true" || *value == "1" || *value == "on") return true;
+  if (*value == "false" || *value == "0" || *value == "off") return false;
+  GRIDLB_REQUIRE(false, "flag --" + name + " expects a boolean, got '" +
+                            *value + "'");
+}
+
+std::string Flags::usage(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& declaration : declarations_) {
+    std::string left = "  --" + declaration.name;
+    if (!declaration.value_hint.empty()) {
+      left += " <" + declaration.value_hint + ">";
+    }
+    os << left;
+    for (std::size_t pad = left.size(); pad < 34; ++pad) os << ' ';
+    os << declaration.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace gridlb

@@ -1,0 +1,59 @@
+// Minimal command-line flag parser for the tools and examples.
+//
+// Supports `--key value`, `--key=value` and boolean `--flag` forms, plus
+// positional arguments.  Declared flags carry a help line; `usage()`
+// renders them.  Unknown flags raise AssertionError so typos fail fast.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gridlb {
+
+class Flags {
+ public:
+  /// Declares a flag before parsing; `value_hint` is shown in usage (empty
+  /// for boolean flags).
+  void declare(std::string name, std::string value_hint, std::string help);
+
+  /// Parses argv (excluding argv[0]).  Throws AssertionError on unknown
+  /// or malformed flags.
+  void parse(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get(const std::string& name,
+                                const std::string& fallback) const;
+  [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] std::string usage(const std::string& program) const;
+
+ private:
+  struct Declaration {
+    std::string name;
+    std::string value_hint;
+    std::string help;
+  };
+  struct Value {
+    std::string name;
+    std::string value;  // "true" for bare boolean flags
+  };
+
+  [[nodiscard]] const Declaration* find_declaration(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<std::string> find_value(
+      const std::string& name) const;
+
+  std::vector<Declaration> declarations_;
+  std::vector<Value> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gridlb

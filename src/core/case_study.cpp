@@ -1,0 +1,27 @@
+#include "core/case_study.hpp"
+
+namespace gridlb::core {
+
+std::vector<agents::ResourceSpec> case_study_resources() {
+  using pace::HardwareType;
+  std::vector<agents::ResourceSpec> specs;
+  const auto add = [&specs](const char* name, HardwareType hardware,
+                            int parent) {
+    specs.push_back(agents::ResourceSpec{name, hardware, 16, parent});
+  };
+  add("S1", HardwareType::kSgiOrigin2000, -1);
+  add("S2", HardwareType::kSgiOrigin2000, 0);
+  add("S3", HardwareType::kSunUltra10, 0);
+  add("S4", HardwareType::kSunUltra10, 0);
+  add("S5", HardwareType::kSunUltra5, 1);
+  add("S6", HardwareType::kSunUltra5, 1);
+  add("S7", HardwareType::kSunUltra5, 2);
+  add("S8", HardwareType::kSunUltra1, 2);
+  add("S9", HardwareType::kSunUltra1, 3);
+  add("S10", HardwareType::kSunUltra1, 3);
+  add("S11", HardwareType::kSunSparcStation2, 4);
+  add("S12", HardwareType::kSunSparcStation2, 4);
+  return specs;
+}
+
+}  // namespace gridlb::core

@@ -1,0 +1,24 @@
+// The IPPS'03 case-study configuration (paper §4.1, Fig. 7).
+//
+// Twelve agents S1..S12 in a hierarchy, each representing a 16-node
+// homogeneous resource:
+//   S1, S2  — SGIOrigin2000 (most powerful)
+//   S3, S4  — SunUltra10
+//   S5..S7  — SunUltra5
+//   S8..S10 — SunUltra1
+//   S11,S12 — SunSPARCstation2 (least powerful)
+// Fig. 7 shows the hierarchy without fully specifying every edge; the
+// wiring used here (S1 → {S2,S3,S4}, S2 → {S5,S6}, S3 → {S7,S8},
+// S4 → {S9,S10}, S5 → {S11,S12}) is documented in DESIGN.md.
+#pragma once
+
+#include <vector>
+
+#include "agents/agent_system.hpp"
+
+namespace gridlb::core {
+
+/// The twelve Fig. 7 resources in topological (parent-first) order.
+[[nodiscard]] std::vector<agents::ResourceSpec> case_study_resources();
+
+}  // namespace gridlb::core

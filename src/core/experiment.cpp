@@ -1,0 +1,264 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "agents/portal.hpp"
+#include "common/assert.hpp"
+#include "core/case_study.hpp"
+#include "pace/paper_applications.hpp"
+#include "sim/engine.hpp"
+
+namespace gridlb::core {
+
+namespace {
+
+ExperimentConfig base_experiment() {
+  ExperimentConfig config;
+  config.resources = case_study_resources();
+  return config;
+}
+
+}  // namespace
+
+ExperimentConfig experiment1() {
+  ExperimentConfig config = base_experiment();
+  config.name = "Experiment 1 (FIFO, no agents)";
+  config.policy = sched::SchedulerPolicy::kFifo;
+  config.agents_enabled = false;
+  return config;
+}
+
+ExperimentConfig experiment2() {
+  ExperimentConfig config = base_experiment();
+  config.name = "Experiment 2 (GA, no agents)";
+  config.policy = sched::SchedulerPolicy::kGa;
+  config.agents_enabled = false;
+  return config;
+}
+
+ExperimentConfig experiment3() {
+  ExperimentConfig config = base_experiment();
+  config.name = "Experiment 3 (GA + agent discovery)";
+  config.policy = sched::SchedulerPolicy::kGa;
+  config.agents_enabled = true;
+  return config;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  GRIDLB_REQUIRE(!config.resources.empty(), "experiment needs resources");
+
+  sim::Engine engine;
+  metrics::MetricsCollector collector;
+  const pace::ApplicationCatalogue catalogue = pace::paper_catalogue();
+
+  agents::SystemConfig system_config;
+  system_config.resources = config.resources;
+  system_config.policy = config.policy;
+  system_config.fifo_objective = config.fifo_objective;
+  system_config.ga = config.ga;
+  system_config.discovery_enabled = config.agents_enabled;
+  system_config.strict_failure = config.strict_failure;
+  system_config.pull_period = config.pull_period;
+  system_config.push_on_dispatch = config.push_on_dispatch;
+  system_config.scope = config.scope;
+  system_config.network_latency = config.network_latency;
+  system_config.seed = config.system_seed;
+  system_config.prediction_error = config.prediction_error;
+  system_config.churn = config.churn;
+
+  agents::AgentSystem system(engine, catalogue, std::move(system_config),
+                             &collector);
+  system.start();
+  agents::Portal portal(engine, system.network(), catalogue, &collector);
+
+  const std::vector<RequestSpec> workload = generate_workload(
+      config.workload, catalogue, static_cast<int>(system.size()));
+  for (const RequestSpec& spec : workload) {
+    engine.schedule_at(spec.at, [&, spec]() {
+      portal.submit(system.agent(static_cast<std::size_t>(spec.agent_index)),
+                    spec.app_name, engine.now() + spec.deadline_offset);
+    });
+  }
+
+  // Drain: run until every submitted task completed or was dropped.  The
+  // periodic advertisement pulls keep the event queue non-empty forever,
+  // so completion — not queue exhaustion — is the stop condition.
+  const auto expected = static_cast<std::uint64_t>(workload.size());
+  const auto dropped_so_far = [&system]() {
+    std::uint64_t dropped = 0;
+    for (std::size_t i = 0; i < system.size(); ++i) {
+      dropped += system.agent(i).stats().dropped;
+    }
+    return dropped;
+  };
+  while (collector.completed_tasks() + dropped_so_far() < expected) {
+    GRIDLB_REQUIRE(engine.step(), "event queue drained with tasks missing");
+    GRIDLB_REQUIRE(engine.now() <= config.horizon_limit,
+                   "experiment exceeded the horizon limit");
+  }
+
+  ExperimentResult result;
+  result.name = config.name;
+  result.report = collector.report();
+  result.completions = collector.records();
+  result.requests_submitted = expected;
+  result.tasks_completed = collector.completed_tasks();
+  result.finished_at = engine.now();
+  result.sim_events = engine.events_processed();
+  result.network_messages = system.network().total_messages();
+  result.network_bytes = system.network().total_bytes();
+  result.cache = system.evaluator().stats();
+
+  std::uint64_t hops = 0;
+  std::uint64_t executed = 0;
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    const agents::Agent& agent = system.agent(i);
+    result.agent_stats.push_back(agent.stats());
+    result.tasks_dropped += agent.stats().dropped;
+    hops += agent.stats().hops_accumulated;
+    executed += agent.stats().dispatched_local;
+    result.ga_decodes += agent.scheduler().ga_decodes();
+    result.fifo_subsets += agent.scheduler().fifo_subsets_tried();
+  }
+  result.mean_hops =
+      executed > 0 ? static_cast<double>(hops) / static_cast<double>(executed)
+                   : 0.0;
+  return result;
+}
+
+ExperimentResult run_central_experiment(const ExperimentConfig& config) {
+  GRIDLB_REQUIRE(!config.resources.empty(), "experiment needs resources");
+
+  sim::Engine engine;
+  metrics::MetricsCollector collector;
+  const pace::ApplicationCatalogue catalogue = pace::paper_catalogue();
+
+  agents::SystemConfig system_config;
+  system_config.resources = config.resources;
+  system_config.policy = config.policy;
+  system_config.fifo_objective = config.fifo_objective;
+  system_config.ga = config.ga;
+  system_config.discovery_enabled = false;  // agents stay out of the way
+  system_config.pull_period = 0.0;
+  system_config.network_latency = config.network_latency;
+  system_config.seed = config.system_seed;
+  system_config.prediction_error = config.prediction_error;
+  system_config.churn = config.churn;
+  agents::AgentSystem system(engine, catalogue, std::move(system_config),
+                             &collector);
+  system.start();
+
+  pace::EvaluationEngine oracle_engine;
+  pace::CachedEvaluator oracle(oracle_engine);
+  std::uint64_t next_task = 0;
+
+  const auto dispatch = [&](const std::string& app_name, SimTime deadline) {
+    const pace::ApplicationModelPtr app = catalogue.find(app_name);
+    GRIDLB_REQUIRE(app != nullptr, "unknown application: " + app_name);
+    // Omniscient eq. 10: live freetime, no advertisement staleness.
+    std::size_t best = 0;
+    double best_eta = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < system.size(); ++i) {
+      const sched::LocalScheduler& scheduler = system.agent(i).scheduler();
+      const double backlog =
+          std::max(0.0, scheduler.freetime() - engine.now());
+      double best_exec = std::numeric_limits<double>::infinity();
+      for (int k = 1; k <= scheduler.config().node_count; ++k) {
+        best_exec = std::min(
+            best_exec,
+            oracle.evaluate(*app, scheduler.config().resource, k));
+      }
+      const double eta = backlog + best_exec;
+      if (eta < best_eta) {
+        best_eta = eta;
+        best = i;
+      }
+    }
+    sched::Task task;
+    task.id = TaskId(++next_task);
+    task.app = app;
+    task.arrival = engine.now();
+    task.deadline = deadline;
+    collector.on_submission(engine.now());
+    system.agent(best).scheduler().submit(std::move(task));
+  };
+
+  const std::vector<RequestSpec> workload = generate_workload(
+      config.workload, catalogue, static_cast<int>(system.size()));
+  for (const RequestSpec& spec : workload) {
+    engine.schedule_at(spec.at, [&, spec]() {
+      dispatch(spec.app_name, engine.now() + spec.deadline_offset);
+    });
+  }
+
+  const auto expected = static_cast<std::uint64_t>(workload.size());
+  while (collector.completed_tasks() < expected) {
+    GRIDLB_REQUIRE(engine.step(), "event queue drained with tasks missing");
+    GRIDLB_REQUIRE(engine.now() <= config.horizon_limit,
+                   "experiment exceeded the horizon limit");
+  }
+
+  ExperimentResult result;
+  result.name = config.name;
+  result.report = collector.report();
+  result.completions = collector.records();
+  result.requests_submitted = expected;
+  result.tasks_completed = collector.completed_tasks();
+  result.finished_at = engine.now();
+  result.sim_events = engine.events_processed();
+  result.network_messages = system.network().total_messages();
+  result.network_bytes = system.network().total_bytes();
+  result.cache = system.evaluator().stats();
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    result.agent_stats.push_back(system.agent(i).stats());
+    result.ga_decodes += system.agent(i).scheduler().ga_decodes();
+    result.fifo_subsets += system.agent(i).scheduler().fifo_subsets_tried();
+  }
+  return result;
+}
+
+std::string format_table3(const std::vector<ExperimentResult>& results) {
+  GRIDLB_REQUIRE(!results.empty(), "no results to format");
+  const std::size_t rows = results.front().report.resources.size();
+  for (const auto& result : results) {
+    GRIDLB_REQUIRE(result.report.resources.size() == rows,
+                   "results cover different resource sets");
+  }
+
+  std::ostringstream os;
+  os << std::fixed;
+  os << std::setw(6) << "";
+  for (std::size_t e = 0; e < results.size(); ++e) {
+    os << " | " << std::setw(9) << "eps(s)" << std::setw(9) << "util(%)"
+       << std::setw(9) << "beta(%)";
+  }
+  os << '\n';
+  os << std::setw(6) << "agent";
+  for (std::size_t e = 0; e < results.size(); ++e) {
+    std::string header = "experiment " + std::to_string(e + 1);
+    os << " | " << std::setw(27) << header;
+  }
+  os << '\n';
+
+  const auto emit_row = [&os, &results](std::size_t row, bool total) {
+    os << std::setw(6)
+       << (total ? "Total" : results.front().report.resources[row].label);
+    for (const auto& result : results) {
+      const metrics::MetricsRow& metrics_row =
+          total ? result.report.total : result.report.resources[row];
+      os << " | " << std::setw(9) << std::setprecision(0)
+         << metrics_row.advance_time << std::setw(9) << std::setprecision(0)
+         << metrics_row.utilisation * 100.0 << std::setw(9)
+         << std::setprecision(0) << metrics_row.balance * 100.0;
+    }
+    os << '\n';
+  };
+  for (std::size_t row = 0; row < rows; ++row) emit_row(row, false);
+  emit_row(0, true);
+  return os.str();
+}
+
+}  // namespace gridlb::core

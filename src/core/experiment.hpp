@@ -1,0 +1,86 @@
+// Experiment harness for the case study (paper §4, Tables 2–3).
+//
+// Three experiment presets reproduce Table 2's design matrix:
+//   experiment 1 — FIFO local scheduling, no agent mechanism;
+//   experiment 2 — GA local scheduling, no agent mechanism;
+//   experiment 3 — GA local scheduling + agent-based service discovery.
+// `run_experiment` executes one configuration end-to-end in virtual time
+// and returns the Table 3 metrics together with the auxiliary statistics
+// used by the ablation benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "agents/agent_system.hpp"
+#include "core/workload.hpp"
+#include "metrics/metrics.hpp"
+
+namespace gridlb::core {
+
+struct ExperimentConfig {
+  std::string name;
+  std::vector<agents::ResourceSpec> resources;  ///< default: case study
+  sched::SchedulerPolicy policy = sched::SchedulerPolicy::kGa;
+  sched::FifoObjective fifo_objective = sched::FifoObjective::kMinExecution;
+  bool agents_enabled = true;
+  bool strict_failure = false;
+  sched::GaConfig ga;
+  WorkloadConfig workload;
+  double pull_period = 10.0;
+  bool push_on_dispatch = false;
+  agents::AdvertisementScope scope = agents::AdvertisementScope::kOwnService;
+  double network_latency = 0.05;
+  std::uint64_t system_seed = 42;
+  double prediction_error = 0.0;   ///< PACE prediction-accuracy study
+  agents::ChurnConfig churn;       ///< node failure/repair model
+  /// Abort (with an assertion) if the grid has not drained by this time.
+  SimTime horizon_limit = 48.0 * 3600.0;
+};
+
+/// Table 2 presets.
+[[nodiscard]] ExperimentConfig experiment1();
+[[nodiscard]] ExperimentConfig experiment2();
+[[nodiscard]] ExperimentConfig experiment3();
+
+struct ExperimentResult {
+  std::string name;
+  metrics::Report report;              ///< ε / υ / β, per resource + total
+  std::vector<sched::CompletionRecord> completions;  ///< full trace
+  std::vector<agents::AgentStats> agent_stats;  ///< per agent, S1.. order
+  // Aggregates.
+  std::uint64_t requests_submitted = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t tasks_dropped = 0;     ///< strict-mode discovery failures
+  double mean_hops = 0.0;              ///< forwards per executed request
+  std::uint64_t network_messages = 0;
+  std::uint64_t network_bytes = 0;
+  pace::CacheStats cache;
+  std::uint64_t ga_decodes = 0;
+  std::uint64_t fifo_subsets = 0;
+  std::uint64_t sim_events = 0;
+  SimTime finished_at = 0.0;           ///< virtual time of the last event
+};
+
+/// Runs one experiment to completion (all submitted tasks executed or
+/// dropped) and gathers every statistic.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Runs the same workload under an idealised *central* dispatcher: an
+/// omniscient scheduler that sees every resource's live freetime with
+/// zero staleness and zero message cost, and sends each request to the
+/// globally best estimate (eq. 10 over all resources).  This is the
+/// centralised architecture the paper argues against ("no central
+/// structure which might act as a potential bottleneck"); comparing it
+/// with experiment 3 quantifies how much the neighbour-only discovery
+/// gives up for its decentralisation.  Local scheduling still uses
+/// `config.policy`.
+[[nodiscard]] ExperimentResult run_central_experiment(
+    const ExperimentConfig& config);
+
+/// Formats results side by side in the layout of Table 3 (ε, υ, β columns
+/// per experiment, one row per resource plus the grid total).
+[[nodiscard]] std::string format_table3(
+    const std::vector<ExperimentResult>& results);
+
+}  // namespace gridlb::core

@@ -1,0 +1,34 @@
+#include "core/workload.hpp"
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace gridlb::core {
+
+std::vector<RequestSpec> generate_workload(
+    const WorkloadConfig& config, const pace::ApplicationCatalogue& catalogue,
+    int agent_count) {
+  GRIDLB_REQUIRE(config.count >= 0, "negative request count");
+  GRIDLB_REQUIRE(config.interval > 0.0, "interval must be positive");
+  GRIDLB_REQUIRE(agent_count >= 1, "need at least one agent");
+  GRIDLB_REQUIRE(catalogue.size() >= 1, "need at least one application");
+
+  Rng rng(config.seed);
+  std::vector<RequestSpec> out;
+  out.reserve(static_cast<std::size_t>(config.count));
+  for (int i = 0; i < config.count; ++i) {
+    RequestSpec spec;
+    spec.at = config.start + static_cast<double>(i) * config.interval;
+    spec.agent_index = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(agent_count)));
+    const auto& app = catalogue.all()[static_cast<std::size_t>(
+        rng.next_below(catalogue.size()))];
+    spec.app_name = app->name();
+    const pace::DeadlineDomain domain = app->deadline_domain();
+    spec.deadline_offset = rng.uniform(domain.lo, domain.hi);
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+}  // namespace gridlb::core

@@ -1,0 +1,64 @@
+#include "pace/application_model.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace gridlb::pace {
+
+ApplicationModel::ApplicationModel(std::string name, DeadlineDomain deadlines)
+    : name_(std::move(name)), deadlines_(deadlines) {
+  GRIDLB_REQUIRE(!name_.empty(), "application model needs a name");
+  GRIDLB_REQUIRE(deadlines.lo >= 0.0 && deadlines.hi >= deadlines.lo,
+                 "deadline domain must satisfy 0 <= lo <= hi");
+}
+
+double ApplicationModel::reference_time(int nproc) const {
+  GRIDLB_REQUIRE(nproc >= 1, "processor count must be >= 1");
+  const int clamped = nproc > max_procs() ? max_procs() : nproc;
+  const double t = reference_time_impl(clamped);
+  GRIDLB_ASSERT(t > 0.0);
+  return t;
+}
+
+TabulatedModel::TabulatedModel(std::string name, DeadlineDomain deadlines,
+                               std::vector<double> times)
+    : ApplicationModel(std::move(name), deadlines), times_(std::move(times)) {
+  GRIDLB_REQUIRE(!times_.empty(), "tabulated model needs at least one entry");
+  for (const double t : times_) {
+    GRIDLB_REQUIRE(t > 0.0, "tabulated times must be positive");
+  }
+}
+
+ParametricModel::ParametricModel(std::string name, DeadlineDomain deadlines,
+                                 Params params)
+    : ApplicationModel(std::move(name), deadlines), params_(params) {
+  GRIDLB_REQUIRE(params_.max_procs >= 1, "max_procs must be >= 1");
+  GRIDLB_REQUIRE(params_.serial >= 0.0 && params_.parallel >= 0.0 &&
+                     params_.comm_per_link >= 0.0 && params_.sync >= 0.0,
+                 "parametric model components must be non-negative");
+  GRIDLB_REQUIRE(params_.serial + params_.parallel > 0.0,
+                 "parametric model must have some work");
+}
+
+double ParametricModel::reference_time_impl(int nproc) const {
+  const auto k = static_cast<double>(nproc);
+  return params_.serial + params_.parallel / k +
+         params_.comm_per_link * (k - 1.0) + params_.sync * std::log2(k);
+}
+
+void ApplicationCatalogue::add(ApplicationModelPtr model) {
+  GRIDLB_REQUIRE(model != nullptr, "cannot register a null model");
+  GRIDLB_REQUIRE(find(model->name()) == nullptr,
+                 "duplicate application model name: " + model->name());
+  models_.push_back(std::move(model));
+}
+
+ApplicationModelPtr ApplicationCatalogue::find(const std::string& name) const {
+  for (const auto& model : models_) {
+    if (model->name() == name) return model;
+  }
+  return nullptr;
+}
+
+}  // namespace gridlb::pace

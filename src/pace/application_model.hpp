@@ -1,0 +1,126 @@
+// PACE application models.
+//
+// In the original toolkit an application model is derived from source-code
+// analysis and captures, per parallel template, the computation and
+// communication an application performs; the evaluation engine combines it
+// with a resource model to predict execution time on k processors.  Two
+// concrete model families are provided:
+//
+//  * TabulatedModel — a measured/authored reference curve T(k) on the
+//    reference platform.  The seven case-study applications (Table 1) are
+//    tabulated models so their predictions match the paper exactly.
+//  * ParametricModel — an analytic compute/communication decomposition
+//    T(k) = serial + parallel/k + comm·(k−1) + sync·log2(k), the shape PACE
+//    derives for SPMD codes.  This is what a user writing their own
+//    application model would use (see examples/custom_application.cpp).
+//
+// Every model also carries the *deadline domain* [lo, hi] from which the
+// case study draws each request's execution deadline (Table 1's bracketed
+// ranges).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gridlb::pace {
+
+/// Inclusive bounds of the random deadline offset, seconds (Table 1).
+struct DeadlineDomain {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+class ApplicationModel {
+ public:
+  ApplicationModel(std::string name, DeadlineDomain deadlines);
+  virtual ~ApplicationModel() = default;
+
+  ApplicationModel(const ApplicationModel&) = delete;
+  ApplicationModel& operator=(const ApplicationModel&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] DeadlineDomain deadline_domain() const { return deadlines_; }
+
+  /// Predicted execution time on `nproc` reference-platform processors.
+  /// `nproc` must be >= 1; processor counts beyond `max_procs()` saturate
+  /// at the `max_procs()` prediction (the paper: "when the number of
+  /// processors is more than 16, the run time does not improve any
+  /// further").
+  [[nodiscard]] double reference_time(int nproc) const;
+
+  /// Largest processor count the model distinguishes.
+  [[nodiscard]] virtual int max_procs() const = 0;
+
+ protected:
+  /// Hook for subclasses; called with 1 <= nproc <= max_procs().
+  [[nodiscard]] virtual double reference_time_impl(int nproc) const = 0;
+
+ private:
+  std::string name_;
+  DeadlineDomain deadlines_;
+};
+
+/// Convenient shared handle: models are immutable and shared between the
+/// catalogue, tasks, schedulers and agents.
+using ApplicationModelPtr = std::shared_ptr<const ApplicationModel>;
+
+/// Reference curve given directly, times[k-1] = T(k).
+class TabulatedModel final : public ApplicationModel {
+ public:
+  TabulatedModel(std::string name, DeadlineDomain deadlines,
+                 std::vector<double> times);
+
+  [[nodiscard]] int max_procs() const override {
+    return static_cast<int>(times_.size());
+  }
+
+ protected:
+  [[nodiscard]] double reference_time_impl(int nproc) const override {
+    return times_[static_cast<std::size_t>(nproc - 1)];
+  }
+
+ private:
+  std::vector<double> times_;
+};
+
+/// Analytic SPMD decomposition:
+///   T(k) = serial + parallel/k + comm_per_link·(k−1) + sync·log2(k)
+class ParametricModel final : public ApplicationModel {
+ public:
+  struct Params {
+    double serial = 0.0;         ///< non-parallelisable seconds
+    double parallel = 0.0;       ///< perfectly-divisible seconds
+    double comm_per_link = 0.0;  ///< pairwise exchange cost per extra node
+    double sync = 0.0;           ///< log-tree synchronisation cost
+    int max_procs = 16;
+  };
+
+  ParametricModel(std::string name, DeadlineDomain deadlines, Params params);
+
+  [[nodiscard]] int max_procs() const override { return params_.max_procs; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ protected:
+  [[nodiscard]] double reference_time_impl(int nproc) const override;
+
+ private:
+  Params params_;
+};
+
+/// Registry of application models by name, as published by the portal's
+/// application tools.  Lookup is by the name used in request documents.
+class ApplicationCatalogue {
+ public:
+  void add(ApplicationModelPtr model);
+  [[nodiscard]] ApplicationModelPtr find(const std::string& name) const;
+  [[nodiscard]] const std::vector<ApplicationModelPtr>& all() const {
+    return models_;
+  }
+  [[nodiscard]] std::size_t size() const { return models_.size(); }
+
+ private:
+  std::vector<ApplicationModelPtr> models_;
+};
+
+}  // namespace gridlb::pace

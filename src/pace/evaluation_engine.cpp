@@ -1,0 +1,43 @@
+#include "pace/evaluation_engine.hpp"
+
+#include <functional>
+
+#include "common/assert.hpp"
+
+namespace gridlb::pace {
+
+double EvaluationEngine::evaluate(const ApplicationModel& app,
+                                  const ResourceModel& resource, int nproc) {
+  GRIDLB_REQUIRE(nproc >= 1, "processor count must be >= 1");
+  GRIDLB_REQUIRE(resource.factor > 0.0, "resource factor must be positive");
+  ++evaluations_;
+  return app.reference_time(nproc) * resource.factor;
+}
+
+std::size_t CachedEvaluator::KeyHash::operator()(const Key& key) const {
+  std::size_t h = std::hash<const void*>{}(key.app);
+  const auto mix = [&h](std::size_t v) {
+    h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  };
+  mix(std::hash<int>{}(static_cast<int>(key.type)));
+  mix(std::hash<double>{}(key.factor));
+  mix(std::hash<int>{}(key.nproc));
+  return h;
+}
+
+double CachedEvaluator::evaluate(const ApplicationModel& app,
+                                 const ResourceModel& resource, int nproc) {
+  const Key key{&app, resource.type, resource.factor, nproc};
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++stats_.hits;
+    return it->second;
+  }
+  ++stats_.misses;
+  const double value = engine_->evaluate(app, resource, nproc);
+  cache_.emplace(key, value);
+  return value;
+}
+
+void CachedEvaluator::clear() { cache_.clear(); }
+
+}  // namespace gridlb::pace

@@ -1,0 +1,53 @@
+#include "pace/hardware.hpp"
+
+#include "common/assert.hpp"
+
+namespace gridlb::pace {
+
+const std::vector<HardwareType>& all_hardware_types() {
+  static const std::vector<HardwareType> kTypes = {
+      HardwareType::kSgiOrigin2000, HardwareType::kSunUltra10,
+      HardwareType::kSunUltra5, HardwareType::kSunUltra1,
+      HardwareType::kSunSparcStation2};
+  return kTypes;
+}
+
+std::string_view hardware_name(HardwareType type) {
+  switch (type) {
+    case HardwareType::kSgiOrigin2000: return "SGIOrigin2000";
+    case HardwareType::kSunUltra10: return "SunUltra10";
+    case HardwareType::kSunUltra5: return "SunUltra5";
+    case HardwareType::kSunUltra1: return "SunUltra1";
+    case HardwareType::kSunSparcStation2: return "SunSPARCstation2";
+  }
+  GRIDLB_ASSERT(false);
+}
+
+std::optional<HardwareType> hardware_from_name(std::string_view name) {
+  for (const HardwareType type : all_hardware_types()) {
+    if (hardware_name(type) == name) return type;
+  }
+  return std::nullopt;
+}
+
+double performance_factor(HardwareType type) {
+  // Synthetic static benchmark factors; see header for rationale.  The
+  // spread is calibrated so that the case-study workload saturates the
+  // slow platforms without the agent mechanism (experiments 1–2) while the
+  // grid as a whole can still absorb it when discovery redistributes load
+  // (experiment 3) — the regime Table 3 reports.
+  switch (type) {
+    case HardwareType::kSgiOrigin2000: return 1.0;
+    case HardwareType::kSunUltra10: return 1.6;
+    case HardwareType::kSunUltra5: return 2.2;
+    case HardwareType::kSunUltra1: return 3.0;
+    case HardwareType::kSunSparcStation2: return 5.0;
+  }
+  GRIDLB_ASSERT(false);
+}
+
+ResourceModel ResourceModel::of(HardwareType type) {
+  return ResourceModel{type, performance_factor(type)};
+}
+
+}  // namespace gridlb::pace

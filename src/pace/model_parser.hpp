@@ -1,0 +1,64 @@
+// PACE application-model description language.
+//
+// In the original toolkit the portal embeds "application tools" that turn
+// a user's source code into a performance model; grid users ship the
+// resulting model file alongside their binary (Fig. 6 references it as
+// `<modelname>`).  This module provides the file format those tools would
+// emit in this reproduction: a small line-oriented language describing
+// either a tabulated reference curve or a parametric compute/communicate
+// decomposition.
+//
+//   # comments run to end of line
+//   application sweep3d
+//     deadline 4 200            # the Table 1 deadline domain
+//     times 50 40 30 25 23 20 17 15 13 11 9 7 6 5 4 4
+//   end
+//
+//   application stencil2d
+//     deadline 10 120
+//     max_procs 16
+//     serial 2.0                # non-parallelisable seconds
+//     parallel 60.0             # perfectly-divisible seconds
+//     comm_per_link 0.8         # pairwise exchange per extra node
+//     sync 0.5                  # log-tree synchronisation
+//   end
+//
+//   application mc_sim
+//     deadline 5 60
+//     flops 1.2e9               # work given as operations…
+//     rate 40                   # …converted at `rate` Mflop/s per node
+//     serial_fraction 0.02      # share of the work that is serial
+//   end
+//
+// A file may define any number of applications; `parse_catalogue` returns
+// them as an ApplicationCatalogue.  Errors carry the line number.
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+
+#include "pace/application_model.hpp"
+
+namespace gridlb::pace {
+
+class ModelParseError : public std::runtime_error {
+ public:
+  ModelParseError(const std::string& message, int line);
+  [[nodiscard]] int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses one or more `application … end` blocks.
+[[nodiscard]] ApplicationCatalogue parse_catalogue(std::string_view text);
+
+/// Parses a document that must contain exactly one application.
+[[nodiscard]] ApplicationModelPtr parse_model(std::string_view text);
+
+/// Renders a model back into the description language (tabulated models
+/// emit a `times` row; parametric models their parameters).  Parsing the
+/// output reproduces the model exactly.
+[[nodiscard]] std::string write_model(const ApplicationModel& model);
+
+}  // namespace gridlb::pace

@@ -1,0 +1,96 @@
+#include "report/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace gridlb::report {
+
+namespace {
+
+char glyph_for(std::size_t index) {
+  return static_cast<char>('A' + static_cast<int>(index % 26));
+}
+
+struct Bar {
+  SimTime start;
+  SimTime end;
+  sched::NodeMask mask;
+  char glyph;
+};
+
+std::string render_bars(std::span<const Bar> bars, int node_count,
+                        SimTime from, SimTime to,
+                        const GanttOptions& options) {
+  GRIDLB_REQUIRE(options.columns >= 1, "chart needs at least one column");
+  GRIDLB_REQUIRE(node_count >= 1, "chart needs at least one node");
+  std::ostringstream os;
+  const double span = to - from;
+  if (span <= 0.0) {
+    os << "(empty schedule)\n";
+    return os.str();
+  }
+  const double slot = span / options.columns;
+  os << "time " << from << " .. " << to << "  (" << slot
+     << "s per column)\n";
+  for (int node = 0; node < node_count; ++node) {
+    std::string row(static_cast<std::size_t>(options.columns), options.idle);
+    for (const Bar& bar : bars) {
+      if (((bar.mask >> node) & 1u) == 0) continue;
+      const int first =
+          std::max(0, static_cast<int>((bar.start - from) / slot));
+      const int last = std::min(
+          options.columns, static_cast<int>((bar.end - from) / slot + 0.999));
+      for (int column = first; column < last; ++column) {
+        row[static_cast<std::size_t>(column)] = bar.glyph;
+      }
+    }
+    os << "node ";
+    if (node < 10) os << ' ';
+    os << node << " |" << row << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_schedule(std::span<const sched::Task> tasks,
+                            const sched::DecodedSchedule& schedule,
+                            int node_count, SimTime now,
+                            GanttOptions options) {
+  GRIDLB_REQUIRE(tasks.size() == schedule.placements.size(),
+                 "schedule does not cover the task list");
+  std::vector<Bar> bars;
+  bars.reserve(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const sched::TaskPlacement& placement = schedule.placements[t];
+    bars.push_back(
+        Bar{placement.start, placement.end, placement.mask, glyph_for(t)});
+  }
+  return render_bars(bars, node_count, now, schedule.completion, options);
+}
+
+std::string render_trace(std::span<const sched::CompletionRecord> records,
+                         int node_count, SimTime from, SimTime to,
+                         GanttOptions options) {
+  std::vector<Bar> bars;
+  bars.reserve(records.size());
+  SimTime first = kTimeInfinity;
+  SimTime last = 0.0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& record = records[i];
+    bars.push_back(Bar{record.start, record.end, record.mask, glyph_for(i)});
+    first = std::min(first, record.start);
+    last = std::max(last, record.end);
+  }
+  if (bars.empty()) {
+    first = 0.0;
+    last = 0.0;
+  }
+  if (from == kNoTime) from = first;
+  if (to == kNoTime) to = last;
+  return render_bars(bars, node_count, from, to, options);
+}
+
+}  // namespace gridlb::report

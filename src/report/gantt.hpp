@@ -1,0 +1,36 @@
+// Text Gantt-chart rendering (the paper's Fig. 2 visualisation).
+//
+// Two views: a *planned* schedule (a DecodedSchedule fresh out of the GA)
+// and an *executed* trace (completion records from a simulation run).
+// Rows are processing nodes, columns are equal time slices, and each task
+// prints as a repeated letter (A, B, … cycling after Z).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "sched/local_scheduler.hpp"
+#include "sched/schedule_builder.hpp"
+
+namespace gridlb::report {
+
+struct GanttOptions {
+  int columns = 60;   ///< time resolution of the chart
+  char idle = '.';    ///< glyph for an idle slot
+};
+
+/// Renders a planned schedule over `node_count` nodes.  Time runs from
+/// `now` (the decode origin) to the schedule's completion.
+[[nodiscard]] std::string render_schedule(
+    std::span<const sched::Task> tasks,
+    const sched::DecodedSchedule& schedule, int node_count, SimTime now = 0.0,
+    GanttOptions options = {});
+
+/// Renders an executed trace for one resource between `from` and `to`
+/// (defaults: first start to last end).  Tasks are lettered by the order
+/// they appear in `records`.
+[[nodiscard]] std::string render_trace(
+    std::span<const sched::CompletionRecord> records, int node_count,
+    SimTime from = kNoTime, SimTime to = kNoTime, GanttOptions options = {});
+
+}  // namespace gridlb::report

@@ -1,0 +1,89 @@
+#include "sched/fifo_scheduler.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/assert.hpp"
+
+namespace gridlb::sched {
+
+FifoScheduler::FifoScheduler(pace::CachedEvaluator& evaluator,
+                             pace::ResourceModel resource, int node_count,
+                             FifoObjective objective)
+    : evaluator_(&evaluator),
+      resource_(resource),
+      node_count_(node_count),
+      objective_(objective) {
+  GRIDLB_REQUIRE(node_count >= 1 && node_count <= kMaxNodesPerResource,
+                 "node count out of range");
+}
+
+FifoPlacement FifoScheduler::place(const Task& task,
+                                   std::span<const SimTime> node_free,
+                                   SimTime now) {
+  return place(task, node_free, now, full_mask(node_count_));
+}
+
+FifoPlacement FifoScheduler::place(const Task& task,
+                                   std::span<const SimTime> node_free,
+                                   SimTime now, NodeMask available) {
+  GRIDLB_REQUIRE(static_cast<int>(node_free.size()) == node_count_,
+                 "node_free size mismatch");
+  GRIDLB_REQUIRE(valid_mask(available, node_count_),
+                 "place needs at least one available node");
+
+  std::array<SimTime, kMaxNodesPerResource> free{};
+  for (int i = 0; i < node_count_; ++i) {
+    free[static_cast<std::size_t>(i)] =
+        std::max(node_free[static_cast<std::size_t>(i)], now);
+  }
+  // One PACE evaluation per processor count; the subset loop then only
+  // combines cached values (mirroring the evaluation-cache layer).
+  std::array<double, kMaxNodesPerResource + 1> exec_time{};
+  for (int k = 1; k <= node_count_; ++k) {
+    exec_time[static_cast<std::size_t>(k)] =
+        evaluator_->evaluate(*task.app, resource_, k);
+  }
+
+  FifoPlacement best;
+  double best_exec = 0.0;
+  bool have_best = false;
+  const std::uint64_t all = full_mask(node_count_);
+  for (std::uint64_t raw = 1; raw <= all; ++raw) {
+    const auto mask = static_cast<NodeMask>(raw);
+    ++subsets_tried_;
+    if ((mask & ~available) != 0) continue;  // touches a down node
+    SimTime start = now;
+    for_each_node(mask, [&](int node) {
+      start = std::max(start, free[static_cast<std::size_t>(node)]);
+    });
+    const double exec = exec_time[static_cast<std::size_t>(node_count(mask))];
+    const SimTime end = start + exec;
+    bool better;
+    if (objective_ == FifoObjective::kMinExecution) {
+      // Execution time first; among equally-fast allocations take the one
+      // that can begin earliest.
+      better = !have_best || exec < best_exec ||
+               (exec == best_exec && end < best.end);
+    } else {
+      better = !have_best || end < best.end;
+    }
+    if (!better && have_best &&
+        ((objective_ == FifoObjective::kMinExecution &&
+          exec == best_exec && end == best.end) ||
+         (objective_ == FifoObjective::kMinCompletion && end == best.end))) {
+      // Deterministic tie-breaks: fewer nodes, then the lower mask.
+      better = node_count(mask) < node_count(best.mask) ||
+               (node_count(mask) == node_count(best.mask) && mask < best.mask);
+    }
+    if (better) {
+      have_best = true;
+      best_exec = exec;
+      best = FifoPlacement{mask, start, end};
+    }
+  }
+  GRIDLB_ASSERT(have_best);
+  return best;
+}
+
+}  // namespace gridlb::sched

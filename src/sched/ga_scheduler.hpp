@@ -1,0 +1,100 @@
+// The genetic-algorithm task scheduler (paper §2.1).
+//
+// A fixed-size population of two-part solution strings evolves under
+// stochastic remainder selection, the specialised two-part crossover and
+// mutation operators, and the combined cost function of eq. 8 normalised
+// by dynamic scaling (eq. 9).  The population persists across invocations:
+// when the task set changes between events, surviving tasks keep their
+// evolved ordering and allocations and new arrivals are inserted randomly,
+// so the algorithm "is able to absorb system changes such as the addition
+// or deletion of tasks".
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.hpp"
+#include "sched/cost.hpp"
+#include "sched/schedule_builder.hpp"
+
+namespace gridlb::sched {
+
+struct GaConfig {
+  int population_size = 50;  ///< fixed population size (paper: 50)
+  int generations = 25;      ///< generations evolved per invocation
+  double crossover_rate = 0.8;
+  double order_swap_rate = 0.25;  ///< P(transposition in the ordering part)
+  double bit_flip_rate = 0.02;    ///< per-bit flip rate in the mapping part
+  int elite = 1;  ///< individuals carried over unchanged each generation
+  /// Seed the population each invocation with two greedy list-scheduling
+  /// individuals (arrival order and earliest-deadline-first, each with the
+  /// per-task best node subset).  The arrival-order seed decodes to
+  /// exactly the FIFO baseline's schedule, so an elitist GA can never plan
+  /// worse than FIFO.
+  bool seed_heuristic = true;
+  CostWeights weights;
+};
+
+struct GaResult {
+  SolutionString best;
+  DecodedSchedule schedule;   ///< decode of `best`
+  double best_cost = 0.0;
+  int generations_run = 0;
+  std::uint64_t decodes = 0;  ///< schedule evaluations this invocation
+};
+
+class GaScheduler {
+ public:
+  GaScheduler(ScheduleBuilder& builder, GaConfig config, std::uint64_t seed);
+
+  /// Evolves the (persistent) population for `config.generations`
+  /// generations over the given pending tasks and returns the best
+  /// schedule found.  `node_free` gives each node's earliest availability.
+  GaResult optimize(std::span<const Task> tasks,
+                    std::span<const SimTime> node_free, SimTime now);
+
+  /// As above with only the nodes in `available` usable (resource-monitor
+  /// view); every individual is constrained to the available set before
+  /// evolution, which is how the GA absorbs host departures and returns.
+  GaResult optimize(std::span<const Task> tasks,
+                    std::span<const SimTime> node_free, SimTime now,
+                    NodeMask available);
+
+  [[nodiscard]] const GaConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t total_decodes() const { return total_decodes_; }
+
+ private:
+  /// Aligns the persistent population with the new task set (matching by
+  /// TaskId), reseeding from scratch only on the first call.
+  void sync_population(std::span<const Task> tasks);
+
+  /// Greedy list-scheduling individual: tasks in arrival or deadline
+  /// order, each allocated a subset of the earliest-free nodes.  With
+  /// `efficient` false the subset minimises the task's own completion
+  /// (always the widest/fastest allocation on an idle resource); with
+  /// `efficient` true it is the narrowest allocation that still meets the
+  /// task's deadline (minimum node·seconds), falling back to min
+  /// completion when no allocation is deadline-feasible.  Seeding both
+  /// families keeps the population out of the serial-wide basin that pure
+  /// min-completion greedy occupies.
+  [[nodiscard]] SolutionString greedy_seed(std::span<const Task> tasks,
+                                           std::span<const SimTime> node_free,
+                                           SimTime now, NodeMask available,
+                                           bool deadline_order,
+                                           bool efficient) const;
+
+  /// Stochastic remainder selection: expected copies e_k = f_v,k·N/Σf_v;
+  /// ⌊e_k⌋ copies deterministically, then Bernoulli draws on the
+  /// fractional parts until the pool holds N parents.
+  [[nodiscard]] std::vector<int> select_parents(
+      std::span<const double> fitness);
+
+  ScheduleBuilder* builder_;
+  GaConfig config_;
+  Rng rng_;
+  std::vector<SolutionString> population_;
+  std::vector<TaskId> known_tasks_;  ///< task index -> id at last invocation
+  std::uint64_t total_decodes_ = 0;
+};
+
+}  // namespace gridlb::sched

@@ -1,0 +1,245 @@
+#include "sched/local_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace gridlb::sched {
+
+namespace {
+
+constexpr double kStartEpsilon = 1e-9;
+
+// Deterministic per-task uniform(0,1) draw, independent of call order (so
+// FIFO and GA runs see identical realities for the same task).
+double hash_unit(std::uint64_t seed, TaskId task) {
+  std::uint64_t x = seed ^ (task.value() * 0x9E3779B97F4A7C15ULL);
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+std::string_view policy_name(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kFifo: return "FIFO";
+    case SchedulerPolicy::kGa: return "GA";
+  }
+  GRIDLB_ASSERT(false);
+}
+
+LocalScheduler::LocalScheduler(sim::Engine& engine,
+                               pace::CachedEvaluator& evaluator, Config config,
+                               CompletionSink sink)
+    : engine_(engine),
+      config_(std::move(config)),
+      builder_(evaluator, config_.resource, config_.node_count),
+      sink_(std::move(sink)) {
+  GRIDLB_REQUIRE(sink_ != nullptr, "completion sink must be set");
+  GRIDLB_REQUIRE(config_.node_count >= 1 &&
+                     config_.node_count <= kMaxNodesPerResource,
+                 "node count out of range");
+  node_free_.assign(static_cast<std::size_t>(config_.node_count),
+                    engine_.now());
+  available_ = full_mask(config_.node_count);
+  last_plan_completion_ = engine_.now();
+  switch (config_.policy) {
+    case SchedulerPolicy::kGa:
+      ga_.emplace(builder_, config_.ga, config_.seed);
+      break;
+    case SchedulerPolicy::kFifo:
+      fifo_.emplace(evaluator, config_.resource, config_.node_count,
+                    config_.fifo_objective);
+      break;
+  }
+}
+
+bool LocalScheduler::supports(const std::string& environment) const {
+  return std::find(config_.environments.begin(), config_.environments.end(),
+                   environment) != config_.environments.end();
+}
+
+SimTime LocalScheduler::freetime() const {
+  // Only available nodes count: an absent node's horizon is not backlog.
+  SimTime latest = engine_.now();
+  for_each_node(available_, [&](int node) {
+    latest = std::max(latest, node_free_[static_cast<std::size_t>(node)]);
+  });
+  return std::max(latest, last_plan_completion_);
+}
+
+bool LocalScheduler::cancel(TaskId task) {
+  const auto it =
+      std::find_if(pending_.begin(), pending_.end(),
+                   [task](const Task& pending) { return pending.id == task; });
+  if (it == pending_.end()) return false;
+  log::debug("resource ", config_.resource_id.str(), " t=", engine_.now(),
+             " cancel task ", task.str());
+  pending_.erase(it);
+  return true;
+}
+
+void LocalScheduler::set_node_available(int node, bool up) {
+  GRIDLB_REQUIRE(node >= 0 && node < config_.node_count,
+                 "node index out of range");
+  const NodeMask bit = NodeMask{1} << node;
+  const NodeMask updated = up ? (available_ | bit) : (available_ & ~bit);
+  if (updated == available_) return;
+  available_ = updated;
+  log::debug("resource ", config_.resource_id.str(), " t=", engine_.now(),
+             " node ", node, up ? " up" : " down", ", available=",
+             available_);
+  if (!pending_.empty()) request_reschedule();
+}
+
+void LocalScheduler::submit(Task task) {
+  GRIDLB_REQUIRE(task.app != nullptr, "task needs an application model");
+  GRIDLB_REQUIRE(supports(task.environment),
+                 "unsupported execution environment: " + task.environment);
+  log::debug("resource ", config_.resource_id.str(), " t=", engine_.now(),
+             " submit task ", task.id.str(), " app=", task.app->name());
+  pending_.push_back(std::move(task));
+  queue_stats_.peak_queue_length =
+      std::max(queue_stats_.peak_queue_length, pending_count());
+  if (config_.policy == SchedulerPolicy::kFifo) {
+    // FIFO fixes the allocation immediately and permanently.
+    reschedule();
+  } else {
+    request_reschedule();
+  }
+}
+
+void LocalScheduler::request_reschedule() {
+  if (reschedule_pending_) return;
+  reschedule_pending_ = true;
+  engine_.schedule_in(0.0, [this]() {
+    reschedule_pending_ = false;
+    reschedule();
+  });
+}
+
+void LocalScheduler::commit(std::size_t pending_index, NodeMask mask,
+                            SimTime start, SimTime end) {
+  const Task task = pending_[static_cast<std::size_t>(pending_index)];
+  pending_.erase(pending_.begin() +
+                 static_cast<std::ptrdiff_t>(pending_index));
+  queue_stats_.started += 1;
+  const double wait = std::max(0.0, start - task.arrival);
+  queue_stats_.total_wait += wait;
+  queue_stats_.max_wait = std::max(queue_stats_.max_wait, wait);
+  queue_stats_.total_execution += end - start;
+  if (config_.prediction_error > 0.0) {
+    // The schedule was built from the prediction; reality deviates.
+    const double u = hash_unit(config_.seed, task.id);
+    const double factor =
+        1.0 + config_.prediction_error * (2.0 * u - 1.0);
+    end = start + (end - start) * factor;
+  }
+  for_each_node(mask, [&](int node) {
+    node_free_[static_cast<std::size_t>(node)] = end;
+  });
+  ++running_;
+
+  CompletionRecord record;
+  record.task = task.id;
+  record.resource = config_.resource_id;
+  record.mask = mask;
+  record.app_name = task.app->name();
+  record.submitted = task.arrival;
+  record.start = start;
+  record.end = end;
+  record.deadline = task.deadline;
+
+  engine_.schedule_at(end, [this, record = std::move(record)]() {
+    --running_;
+    ++completed_;
+    sink_(record);
+    if (config_.policy == SchedulerPolicy::kGa && !pending_.empty()) {
+      request_reschedule();
+    }
+  });
+}
+
+void LocalScheduler::reschedule() {
+  const SimTime now = engine_.now();
+  if (pending_.empty()) return;
+  if (available_ == 0) {
+    // Every node is down: hold the queue until the monitor reports a
+    // repair (set_node_available re-arms the reschedule).
+    log::warn("resource ", config_.resource_id.str(), " t=", now,
+              " holding ", pending_.size(), " task(s): no nodes available");
+    return;
+  }
+
+  if (config_.policy == SchedulerPolicy::kFifo) {
+    // Place every still-unplaced task in arrival order; allocations are
+    // fixed the moment they are chosen.
+    while (!pending_.empty()) {
+      const Task& task = pending_.front();
+      const FifoPlacement placement =
+          fifo_->place(task, node_free_, now, available_);
+      log::debug("resource ", config_.resource_id.str(), " t=", now,
+                 " FIFO fixes task ", task.id.str(), " mask=",
+                 placement.mask, " start=", placement.start);
+      commit(0, placement.mask, placement.start, placement.end);
+    }
+    last_plan_completion_ = freetime();
+    return;
+  }
+
+  // GA policy: re-optimise the whole pending set, then start the tasks
+  // whose planned moment has arrived.
+  ++ga_runs_;
+  const GaResult result = ga_->optimize(pending_, node_free_, now, available_);
+  last_plan_completion_ = std::max(result.schedule.completion, now);
+  if (result.schedule.completion >=
+      now + ScheduleBuilder::kUnavailableHorizon) {
+    // The plan routes through a down node (can only happen transiently);
+    // don't advertise the virtual horizon as backlog.
+    last_plan_completion_ = now;
+  }
+
+  // The GA result indexes tasks by their position in `pending_` at
+  // optimise time; commits erase from `pending_`, so snapshot the ids
+  // first and look each task up by id when its turn comes.
+  std::vector<TaskId> ids;
+  ids.reserve(pending_.size());
+  for (const Task& task : pending_) ids.push_back(task.id);
+
+  // Walk positions in schedule order so earlier tasks claim their nodes
+  // first; tasks whose planned start is now begin executing.
+  for (int p = 0; p < result.best.task_count(); ++p) {
+    const int t = result.best.task_at(p);
+    const TaskPlacement& placement =
+        result.schedule.placements[static_cast<std::size_t>(t)];
+    if (placement.start > now + kStartEpsilon) continue;
+
+    const TaskId id = ids[static_cast<std::size_t>(t)];
+    const auto it =
+        std::find_if(pending_.begin(), pending_.end(),
+                     [id](const Task& task) { return task.id == id; });
+    GRIDLB_ASSERT(it != pending_.end());
+
+    // Defensive: the decode serialises node usage, so the nodes of an
+    // immediately-starting task must still be free; skip (and retry at
+    // the next event) if an inconsistency ever appears.
+    bool nodes_free = true;
+    for_each_node(placement.mask, [&](int node) {
+      if (node_free_[static_cast<std::size_t>(node)] > now + kStartEpsilon) {
+        nodes_free = false;
+      }
+    });
+    if (!nodes_free) continue;
+
+    log::debug("resource ", config_.resource_id.str(), " t=", now,
+               " GA starts task ", id.str(), " mask=", placement.mask,
+               " end=", placement.end);
+    commit(static_cast<std::size_t>(it - pending_.begin()), placement.mask,
+           placement.start, placement.end);
+  }
+}
+
+}  // namespace gridlb::sched

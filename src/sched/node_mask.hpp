@@ -1,0 +1,48 @@
+// Bit-mask representation of a node subset within one grid resource.
+//
+// The case study's resources have 16 processing nodes; the mapping part of
+// a GA solution string is literally a bit string per task (Fig. 2), so a
+// 32-bit mask is both the faithful and the efficient representation.  Bit i
+// set means node i is allocated.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace gridlb::sched {
+
+using NodeMask = std::uint32_t;
+
+/// Maximum nodes per resource this representation supports.
+inline constexpr int kMaxNodesPerResource = 32;
+
+/// Mask with the lowest `n` bits set (all nodes of an n-node resource).
+[[nodiscard]] constexpr NodeMask full_mask(int n) {
+  return n >= kMaxNodesPerResource
+             ? ~NodeMask{0}
+             : static_cast<NodeMask>((NodeMask{1} << n) - 1);
+}
+
+/// Number of allocated nodes.
+[[nodiscard]] constexpr int node_count(NodeMask mask) {
+  return std::popcount(mask);
+}
+
+/// Invokes `fn(int node_index)` for each set bit, ascending.
+template <class Fn>
+constexpr void for_each_node(NodeMask mask, Fn&& fn) {
+  while (mask != 0) {
+    const int index = std::countr_zero(mask);
+    fn(index);
+    mask &= mask - 1;
+  }
+}
+
+/// True if `mask` is a non-empty subset of the first `n` nodes.
+[[nodiscard]] constexpr bool valid_mask(NodeMask mask, int n) {
+  return mask != 0 && (mask & ~full_mask(n)) == 0;
+}
+
+}  // namespace gridlb::sched

@@ -1,0 +1,89 @@
+// Decoding a solution string into a concrete schedule (Gantt chart).
+//
+// Implements the paper's schedule semantics: tasks are laid out in the
+// ordering part's sequence; each task starts at the earliest moment all of
+// its allocated nodes are simultaneously free ("a start time at which the
+// allocated nodes all begin to execute the task in unison", eq. 6) and
+// completes after the PACE-predicted execution time t_x(ρ_j, σ_j).
+//
+// Alongside the placements the decoder produces the three raw metrics the
+// GA's cost function combines (eq. 8):
+//   ω  makespan — latest completion, relative to `now` (eq. 7),
+//   φ  front-weighted idle time — "idle time at the front of the schedule
+//      is particularly undesirable … solutions that have large idle times
+//      are penalised by weighting pockets of idle time",
+//   θ  contract penalty — total deadline overrun Σ max(0, η_j − δ_j).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "pace/evaluation_engine.hpp"
+#include "sched/solution.hpp"
+#include "sched/task.hpp"
+
+namespace gridlb::sched {
+
+/// Where one task landed in the decoded schedule.
+struct TaskPlacement {
+  SimTime start = 0.0;  ///< τ_j (absolute)
+  SimTime end = 0.0;    ///< η_j (absolute)
+  NodeMask mask = 0;    ///< ρ_j
+};
+
+/// A fully-decoded schedule plus its cost-function inputs.
+struct DecodedSchedule {
+  std::vector<TaskPlacement> placements;  ///< indexed by task index
+  SimTime completion = 0.0;  ///< absolute latest completion (max η_j)
+  double makespan = 0.0;     ///< ω: completion − now (0 for empty schedules)
+  double total_idle = 0.0;   ///< unweighted idle seconds across all nodes
+  double weighted_idle = 0.0;  ///< φ: front-weighted idle
+  double contract_penalty = 0.0;  ///< θ: Σ max(0, η_j − δ_j)
+  double mean_completion = 0.0;   ///< Φ: mean of (η_j − now), the flowtime
+  int deadline_misses = 0;
+};
+
+class ScheduleBuilder {
+ public:
+  /// `evaluator` and `resource` provide t_x; `node_count` fixes ρ's width.
+  ScheduleBuilder(pace::CachedEvaluator& evaluator,
+                  pace::ResourceModel resource, int node_count);
+
+  /// Decodes `solution` over `tasks`, starting from per-node earliest
+  /// availability `node_free` (absolute times; entries before `now` are
+  /// treated as free-at-`now` — idle already in the past is sunk cost and
+  /// identical for every candidate schedule).
+  [[nodiscard]] DecodedSchedule decode(std::span<const Task> tasks,
+                                       const SolutionString& solution,
+                                       std::span<const SimTime> node_free,
+                                       SimTime now) const;
+
+  /// As above, but nodes outside `available` are down (resource-monitor
+  /// view): they count as free only at `now + kUnavailableHorizon`, so any
+  /// solution allocating them is heavily penalised through its makespan,
+  /// and they contribute no idle time (an absent node is not wasted
+  /// capacity).
+  [[nodiscard]] DecodedSchedule decode(std::span<const Task> tasks,
+                                       const SolutionString& solution,
+                                       std::span<const SimTime> node_free,
+                                       SimTime now, NodeMask available) const;
+
+  /// Virtual availability horizon for down nodes (seconds past `now`).
+  static constexpr double kUnavailableHorizon = 1e7;
+
+  [[nodiscard]] int node_count() const { return node_count_; }
+  [[nodiscard]] const pace::ResourceModel& resource() const {
+    return resource_;
+  }
+  [[nodiscard]] pace::CachedEvaluator& evaluator() const {
+    return *evaluator_;
+  }
+
+ private:
+  pace::CachedEvaluator* evaluator_;
+  pace::ResourceModel resource_;
+  int node_count_;
+};
+
+}  // namespace gridlb::sched

@@ -1,0 +1,21 @@
+// A task: one submitted application-execution request as seen by a local
+// scheduler.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "common/types.hpp"
+#include "pace/application_model.hpp"
+
+namespace gridlb::sched {
+
+struct Task {
+  TaskId id;
+  pace::ApplicationModelPtr app;  ///< PACE application model σ_j
+  SimTime arrival = 0.0;          ///< time the request reached this scheduler
+  SimTime deadline = 0.0;         ///< absolute execution deadline δ_j
+  std::string environment = "test";  ///< "mpi" | "pvm" | "test"
+};
+
+}  // namespace gridlb::sched

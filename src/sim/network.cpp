@@ -1,0 +1,59 @@
+#include "sim/network.hpp"
+
+#include "common/assert.hpp"
+
+namespace gridlb::sim {
+
+Network::Network(Engine& engine, double latency_seconds)
+    : engine_(engine), latency_(latency_seconds) {
+  GRIDLB_REQUIRE(latency_seconds >= 0.0, "latency must be non-negative");
+}
+
+EndpointId Network::register_endpoint(std::string address, int port,
+                                      Handler handler) {
+  GRIDLB_REQUIRE(handler != nullptr, "endpoint handler must be set");
+  endpoints_.push_back(
+      Endpoint{std::move(address), port, std::move(handler), {}});
+  return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+void Network::send(EndpointId from, EndpointId to, std::string payload) {
+  GRIDLB_REQUIRE(from < endpoints_.size(), "unknown sender endpoint");
+  GRIDLB_REQUIRE(to < endpoints_.size(), "unknown recipient endpoint");
+  const auto size = static_cast<std::uint64_t>(payload.size());
+  endpoints_[from].stats.messages_sent += 1;
+  endpoints_[from].stats.bytes_sent += size;
+  ++total_messages_;
+  total_bytes_ += size;
+
+  Message message;
+  message.from = from;
+  message.to = to;
+  message.payload = std::move(payload);
+  message.sent_at = engine_.now();
+  engine_.schedule_in(
+      latency_, [this, message = std::move(message)]() mutable {
+        message.delivered_at = engine_.now();
+        Endpoint& destination = endpoints_[message.to];
+        destination.stats.messages_received += 1;
+        destination.stats.bytes_received += message.payload.size();
+        destination.handler(message);
+      });
+}
+
+const EndpointStats& Network::stats(EndpointId id) const {
+  GRIDLB_REQUIRE(id < endpoints_.size(), "unknown endpoint");
+  return endpoints_[id].stats;
+}
+
+const std::string& Network::address(EndpointId id) const {
+  GRIDLB_REQUIRE(id < endpoints_.size(), "unknown endpoint");
+  return endpoints_[id].address;
+}
+
+int Network::port(EndpointId id) const {
+  GRIDLB_REQUIRE(id < endpoints_.size(), "unknown endpoint");
+  return endpoints_[id].port;
+}
+
+}  // namespace gridlb::sim

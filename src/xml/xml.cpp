@@ -1,0 +1,307 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace gridlb::xml {
+
+ParseError::ParseError(const std::string& message, std::size_t byte_offset)
+    : std::runtime_error(message + " (at byte " + std::to_string(byte_offset) +
+                         ")"),
+      offset_(byte_offset) {}
+
+void Element::set_attribute(std::string key, std::string value) {
+  for (auto& [existing_key, existing_value] : attributes_) {
+    if (existing_key == key) {
+      existing_value = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(std::move(key), std::move(value));
+}
+
+std::optional<std::string_view> Element::attribute(
+    std::string_view key) const {
+  for (const auto& [existing_key, value] : attributes_) {
+    if (existing_key == key) return value;
+  }
+  return std::nullopt;
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::add_child_with_text(std::string name, std::string text) {
+  Element& child = add_child(std::move(name));
+  child.set_text(std::move(text));
+  return child;
+}
+
+Element& Element::adopt_child(std::unique_ptr<Element> child) {
+  GRIDLB_REQUIRE(child != nullptr, "adopt_child requires a non-null child");
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+const Element* Element::child(std::string_view name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Element::child_text(std::string_view name) const {
+  const Element* c = child(name);
+  return c != nullptr ? c->text() : std::string{};
+}
+
+std::string escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char ch : raw) {
+    switch (ch) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void write_element(std::ostringstream& os, const Element& element, int indent,
+                   int depth) {
+  const std::string pad =
+      indent >= 0 ? std::string(static_cast<std::size_t>(indent * depth), ' ')
+                  : std::string{};
+  os << pad << '<' << element.name();
+  for (const auto& [key, value] : element.attributes()) {
+    os << ' ' << key << "=\"" << escape(value) << '"';
+  }
+  const bool empty = element.children().empty() && element.text().empty();
+  if (empty) {
+    os << "/>";
+    if (indent >= 0) os << '\n';
+    return;
+  }
+  os << '>';
+  if (element.children().empty()) {
+    os << escape(element.text()) << "</" << element.name() << '>';
+    if (indent >= 0) os << '\n';
+    return;
+  }
+  if (indent >= 0) os << '\n';
+  if (!element.text().empty()) {
+    os << (indent >= 0 ? std::string(
+                             static_cast<std::size_t>(indent * (depth + 1)),
+                             ' ')
+                       : std::string{})
+       << escape(element.text());
+    if (indent >= 0) os << '\n';
+  }
+  for (const auto& child : element.children()) {
+    write_element(os, *child, indent, depth + 1);
+  }
+  os << pad << "</" << element.name() << '>';
+  if (indent >= 0) os << '\n';
+}
+
+/// Recursive-descent parser over a string_view with a cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view input) : input_(input) {}
+
+  std::unique_ptr<Element> parse_document() {
+    skip_whitespace();
+    skip_declaration();
+    skip_whitespace();
+    auto root = parse_element();
+    skip_whitespace();
+    if (pos_ != input_.size()) {
+      fail("trailing content after document root");
+    }
+    return root;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError(message, pos_);
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= input_.size(); }
+  [[nodiscard]] char peek() const {
+    if (eof()) fail("unexpected end of input");
+    return input_[pos_];
+  }
+  char take() {
+    const char ch = peek();
+    ++pos_;
+    return ch;
+  }
+  void expect(char ch) {
+    if (take() != ch) {
+      --pos_;
+      fail(std::string("expected '") + ch + "'");
+    }
+  }
+  [[nodiscard]] bool looking_at(std::string_view prefix) const {
+    return input_.substr(pos_, prefix.size()) == prefix;
+  }
+
+  void skip_whitespace() {
+    while (!eof() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  void skip_declaration() {
+    if (!looking_at("<?xml")) return;
+    const auto end = input_.find("?>", pos_);
+    if (end == std::string_view::npos) fail("unterminated XML declaration");
+    pos_ = end + 2;
+  }
+
+  void skip_comment() {
+    if (!looking_at("<!--")) return;
+    const auto end = input_.find("-->", pos_ + 4);
+    if (end == std::string_view::npos) fail("unterminated comment");
+    pos_ = end + 3;
+  }
+
+  [[nodiscard]] static bool is_name_char(char ch) {
+    return std::isalnum(static_cast<unsigned char>(ch)) != 0 || ch == '_' ||
+           ch == '-' || ch == '.' || ch == ':';
+  }
+
+  std::string parse_name() {
+    const std::size_t start = pos_;
+    while (!eof() && is_name_char(input_[pos_])) ++pos_;
+    if (pos_ == start) fail("expected a name");
+    return std::string(input_.substr(start, pos_ - start));
+  }
+
+  std::string decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      const auto semi = raw.find(';', i);
+      if (semi == std::string_view::npos) fail("unterminated entity");
+      const std::string_view entity = raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") out += '&';
+      else if (entity == "lt") out += '<';
+      else if (entity == "gt") out += '>';
+      else if (entity == "quot") out += '"';
+      else if (entity == "apos") out += '\'';
+      else fail("unknown entity &" + std::string(entity) + ";");
+      i = semi;
+    }
+    return out;
+  }
+
+  std::string parse_attribute_value() {
+    const char quote = take();
+    if (quote != '"' && quote != '\'') fail("expected quoted attribute value");
+    const std::size_t start = pos_;
+    while (!eof() && input_[pos_] != quote) ++pos_;
+    if (eof()) fail("unterminated attribute value");
+    const std::string value =
+        decode_entities(input_.substr(start, pos_ - start));
+    ++pos_;  // closing quote
+    return value;
+  }
+
+  std::unique_ptr<Element> parse_element() {
+    expect('<');
+    auto element = std::make_unique<Element>(parse_name());
+    // Attributes.
+    for (;;) {
+      skip_whitespace();
+      const char ch = peek();
+      if (ch == '/' || ch == '>') break;
+      std::string key = parse_name();
+      skip_whitespace();
+      expect('=');
+      skip_whitespace();
+      element->set_attribute(std::move(key), parse_attribute_value());
+    }
+    if (peek() == '/') {
+      take();
+      expect('>');
+      return element;
+    }
+    expect('>');
+    // Content: interleaved text, comments and child elements.
+    for (;;) {
+      const std::size_t text_start = pos_;
+      while (!eof() && input_[pos_] != '<') ++pos_;
+      if (pos_ > text_start) {
+        const std::string text = decode_entities(
+            input_.substr(text_start, pos_ - text_start));
+        // Keep interior whitespace but drop pure-indentation runs.
+        if (text.find_first_not_of(" \t\r\n") != std::string::npos) {
+          std::string trimmed = text;
+          const auto first = trimmed.find_first_not_of(" \t\r\n");
+          const auto last = trimmed.find_last_not_of(" \t\r\n");
+          element->append_text(trimmed.substr(first, last - first + 1));
+        }
+      }
+      if (eof()) fail("unterminated element <" + element->name() + ">");
+      if (looking_at("<!--")) {
+        skip_comment();
+        continue;
+      }
+      if (looking_at("</")) {
+        pos_ += 2;
+        const std::string closing = parse_name();
+        if (closing != element->name()) {
+          fail("mismatched closing tag </" + closing + "> for <" +
+               element->name() + ">");
+        }
+        skip_whitespace();
+        expect('>');
+        return element;
+      }
+      element->adopt_child(parse_element());
+    }
+  }
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string write(const Element& root, int indent) {
+  std::ostringstream os;
+  write_element(os, root, indent, 0);
+  return os.str();
+}
+
+std::unique_ptr<Element> parse(std::string_view input) {
+  Parser parser(input);
+  return parser.parse_document();
+}
+
+}  // namespace gridlb::xml

@@ -1,0 +1,104 @@
+// Golden tests: the exact serialised shape of the agent protocol's
+// documents.  These freeze the wire format — any change to the XML layout
+// of Fig. 5 / Fig. 6 / result documents shows up here first.
+#include <gtest/gtest.h>
+
+#include "agents/request.hpp"
+#include "agents/result.hpp"
+#include "agents/service_info.hpp"
+
+namespace gridlb::agents {
+namespace {
+
+TEST(GoldenDocuments, ServiceInfoFig5) {
+  ServiceInfo info;
+  info.agent_address = "gem.dcs.warwick.ac.uk";
+  info.agent_port = 1000;
+  info.local_address = "gem.dcs.warwick.ac.uk";
+  info.local_port = 10000;
+  info.hardware_type = "SunUltra10";
+  info.nproc = 16;
+  info.environments = {"mpi", "pvm", "test"};
+  info.freetime = 100.5;
+
+  const char* expected = R"(<agentgrid type="service">
+  <agent>
+    <address>gem.dcs.warwick.ac.uk</address>
+    <port>1000</port>
+  </agent>
+  <local>
+    <address>gem.dcs.warwick.ac.uk</address>
+    <port>10000</port>
+    <type>SunUltra10</type>
+    <nproc>16</nproc>
+    <environment>mpi</environment>
+    <environment>pvm</environment>
+    <environment>test</environment>
+    <freetime>100.500000</freetime>
+  </local>
+</agentgrid>
+)";
+  EXPECT_EQ(to_xml(info), expected);
+}
+
+TEST(GoldenDocuments, RequestFig6) {
+  Request request;
+  request.task = TaskId(7);
+  request.app_name = "sweep3d";
+  request.binary_file = "/dcs/junwei/agentgrid/binary/sweep3d";
+  request.input_file = "/dcs/junwei/agentgrid/binary/input.50";
+  request.model_name = "/dcs/junwei/agentgrid/model/sweep3d";
+  request.environment = "test";
+  request.deadline = 437.25;
+  request.email = "junwei@dcs.warwick.ac.uk";
+
+  const char* expected = R"(<agentgrid type="request" taskid="7">
+  <application>
+    <name>sweep3d</name>
+    <binary>
+      <file>/dcs/junwei/agentgrid/binary/sweep3d</file>
+      <inputfile>/dcs/junwei/agentgrid/binary/input.50</inputfile>
+    </binary>
+    <performance>
+      <datatype>pacemodel</datatype>
+      <modelname>/dcs/junwei/agentgrid/model/sweep3d</modelname>
+    </performance>
+  </application>
+  <requirement>
+    <environment>test</environment>
+    <deadline>437.250000</deadline>
+  </requirement>
+  <email>junwei@dcs.warwick.ac.uk</email>
+</agentgrid>
+)";
+  EXPECT_EQ(to_xml(request), expected);
+}
+
+TEST(GoldenDocuments, ExecutionResult) {
+  ExecutionResult result;
+  result.task = TaskId(7);
+  result.app_name = "sweep3d";
+  result.resource_name = "S3";
+  result.start = 10.0;
+  result.completion = 25.5;
+  result.deadline = 30.0;
+  result.email = "junwei@dcs.warwick.ac.uk";
+
+  const char* expected = R"(<agentgrid type="result" taskid="7">
+  <application>
+    <name>sweep3d</name>
+  </application>
+  <execution>
+    <resource>S3</resource>
+    <start>10.000000</start>
+    <completion>25.500000</completion>
+    <deadline>30.000000</deadline>
+  </execution>
+  <email>junwei@dcs.warwick.ac.uk</email>
+</agentgrid>
+)";
+  EXPECT_EQ(to_xml(result), expected);
+}
+
+}  // namespace
+}  // namespace gridlb::agents

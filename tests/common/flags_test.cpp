@@ -1,0 +1,106 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace gridlb {
+namespace {
+
+Flags declared() {
+  Flags flags;
+  flags.declare("requests", "N", "request count");
+  flags.declare("policy", "ga|fifo", "scheduling policy");
+  flags.declare("rate", "x", "a real number");
+  flags.declare("csv", "", "boolean switch");
+  return flags;
+}
+
+void parse(Flags& flags, std::initializer_list<const char*> args) {
+  std::vector<const char*> argv(args);
+  flags.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, SeparateValueForm) {
+  Flags flags = declared();
+  parse(flags, {"--requests", "42"});
+  EXPECT_EQ(flags.get_int("requests", 0), 42);
+  EXPECT_TRUE(flags.has("requests"));
+}
+
+TEST(Flags, EqualsValueForm) {
+  Flags flags = declared();
+  parse(flags, {"--policy=fifo", "--rate=2.5"});
+  EXPECT_EQ(flags.get("policy", "ga"), "fifo");
+  EXPECT_DOUBLE_EQ(flags.get_double("rate", 0.0), 2.5);
+}
+
+TEST(Flags, BooleanForms) {
+  Flags flags = declared();
+  parse(flags, {"--csv"});
+  EXPECT_TRUE(flags.get_bool("csv", false));
+
+  Flags off = declared();
+  parse(off, {"--csv=false"});
+  EXPECT_FALSE(off.get_bool("csv", true));
+
+  Flags on = declared();
+  parse(on, {"--csv=on"});
+  EXPECT_TRUE(on.get_bool("csv", false));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  Flags flags = declared();
+  parse(flags, {});
+  EXPECT_EQ(flags.get_int("requests", 7), 7);
+  EXPECT_EQ(flags.get("policy", "ga"), "ga");
+  EXPECT_FALSE(flags.get_bool("csv", false));
+  EXPECT_FALSE(flags.has("requests"));
+}
+
+TEST(Flags, PositionalArguments) {
+  Flags flags = declared();
+  parse(flags, {"run", "--requests", "5", "extra"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"run", "extra"}));
+}
+
+TEST(Flags, UnknownFlagThrows) {
+  Flags flags = declared();
+  EXPECT_THROW(parse(flags, {"--bogus", "1"}), AssertionError);
+}
+
+TEST(Flags, MissingValueThrows) {
+  Flags flags = declared();
+  EXPECT_THROW(parse(flags, {"--requests"}), AssertionError);
+}
+
+TEST(Flags, MalformedNumbersThrow) {
+  Flags flags = declared();
+  parse(flags, {"--requests", "many", "--rate", "fast", "--csv=maybe"});
+  EXPECT_THROW((void)flags.get_int("requests", 0), AssertionError);
+  EXPECT_THROW((void)flags.get_double("rate", 0.0), AssertionError);
+  EXPECT_THROW((void)flags.get_bool("csv", false), AssertionError);
+}
+
+TEST(Flags, ReadingUndeclaredFlagThrows) {
+  Flags flags = declared();
+  parse(flags, {});
+  EXPECT_THROW((void)flags.get("nope", ""), AssertionError);
+}
+
+TEST(Flags, DuplicateDeclarationThrows) {
+  Flags flags = declared();
+  EXPECT_THROW(flags.declare("csv", "", "again"), AssertionError);
+}
+
+TEST(Flags, UsageListsEveryFlag) {
+  const Flags flags = declared();
+  const std::string usage = flags.usage("tool");
+  EXPECT_NE(usage.find("--requests <N>"), std::string::npos);
+  EXPECT_NE(usage.find("--csv"), std::string::npos);
+  EXPECT_NE(usage.find("request count"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridlb

@@ -1,0 +1,166 @@
+#include "metrics/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace gridlb::metrics {
+namespace {
+
+sched::CompletionRecord record(std::uint64_t task, std::uint64_t resource,
+                               sched::NodeMask mask, SimTime start,
+                               SimTime end, SimTime deadline) {
+  sched::CompletionRecord r;
+  r.task = TaskId(task);
+  r.resource = AgentId(resource);
+  r.mask = mask;
+  r.start = start;
+  r.end = end;
+  r.deadline = deadline;
+  return r;
+}
+
+struct MetricsFixture : ::testing::Test {
+  MetricsCollector collector;
+  void SetUp() override {
+    collector.add_resource(AgentId(1), "S1", 2);
+    collector.add_resource(AgentId(2), "S2", 2);
+  }
+};
+
+TEST_F(MetricsFixture, EmptyReport) {
+  const Report report = collector.report();
+  EXPECT_EQ(report.total.tasks, 0);
+  EXPECT_DOUBLE_EQ(report.total.utilisation, 0.0);
+  EXPECT_DOUBLE_EQ(report.total.balance, 0.0);
+  EXPECT_DOUBLE_EQ(report.window(), 0.0);
+}
+
+TEST_F(MetricsFixture, WindowSpansFirstSubmissionToLastCompletion) {
+  collector.on_submission(5.0);
+  collector.on_submission(2.0);  // earlier submission wins
+  collector.record(record(1, 1, 0b01, 10.0, 30.0, 40.0));
+  collector.record(record(2, 1, 0b10, 10.0, 20.0, 15.0));
+  const Report report = collector.report();
+  EXPECT_DOUBLE_EQ(report.window_start, 2.0);
+  EXPECT_DOUBLE_EQ(report.window_end, 30.0);
+  EXPECT_DOUBLE_EQ(report.window(), 28.0);
+}
+
+TEST_F(MetricsFixture, AdvanceTimeIsEq11) {
+  collector.on_submission(0.0);
+  // Task 1 finishes 10 s early; task 2 finishes 5 s late.
+  collector.record(record(1, 1, 0b01, 0.0, 30.0, 40.0));
+  collector.record(record(2, 1, 0b10, 0.0, 20.0, 15.0));
+  const Report report = collector.report();
+  EXPECT_DOUBLE_EQ(report.resources[0].advance_time, (10.0 - 5.0) / 2.0);
+  EXPECT_EQ(report.resources[0].deadlines_met, 1);
+  EXPECT_EQ(report.resources[0].tasks, 2);
+}
+
+TEST_F(MetricsFixture, NegativeWhenMostDeadlinesFail) {
+  collector.on_submission(0.0);
+  collector.record(record(1, 1, 0b01, 0.0, 100.0, 10.0));
+  collector.record(record(2, 1, 0b10, 0.0, 100.0, 20.0));
+  EXPECT_LT(collector.report().total.advance_time, 0.0);
+}
+
+TEST_F(MetricsFixture, UtilisationIsEq12And13) {
+  collector.on_submission(0.0);
+  // Window 0..100; node 0 of S1 busy 50 s, node 1 busy 100 s.
+  collector.record(record(1, 1, 0b01, 0.0, 50.0, 1e3));
+  collector.record(record(2, 1, 0b10, 0.0, 100.0, 1e3));
+  const Report report = collector.report();
+  // S1: (0.5 + 1.0)/2; S2 idle: 0.
+  EXPECT_DOUBLE_EQ(report.resources[0].utilisation, 0.75);
+  EXPECT_DOUBLE_EQ(report.resources[1].utilisation, 0.0);
+  // Total over all 4 nodes: (0.5 + 1.0 + 0 + 0)/4.
+  EXPECT_DOUBLE_EQ(report.total.utilisation, 0.375);
+}
+
+TEST_F(MetricsFixture, MultiNodeTasksChargeEveryAllocatedNode) {
+  collector.on_submission(0.0);
+  collector.record(record(1, 1, 0b11, 0.0, 40.0, 1e3));
+  const Report report = collector.report();
+  EXPECT_DOUBLE_EQ(report.resources[0].utilisation, 1.0);
+}
+
+TEST_F(MetricsFixture, BalanceIsEq14And15) {
+  collector.on_submission(0.0);
+  // S1 perfectly balanced: both nodes busy 50 of 100 s.
+  collector.record(record(1, 1, 0b01, 0.0, 50.0, 1e3));
+  collector.record(record(2, 1, 0b10, 50.0, 100.0, 1e3));
+  // S2 imbalanced: node 0 busy 100 s, node 1 idle.
+  collector.record(record(3, 2, 0b01, 0.0, 100.0, 1e3));
+  const Report report = collector.report();
+  EXPECT_DOUBLE_EQ(report.resources[0].balance, 1.0);
+  // S2: rates {1, 0}: mean 0.5, deviation 0.5 -> beta = 0.
+  EXPECT_DOUBLE_EQ(report.resources[1].balance, 0.0);
+  // Total: rates {0.5, 0.5, 1.0, 0}: mean 0.5, d = sqrt(0.125).
+  EXPECT_NEAR(report.total.balance, 1.0 - std::sqrt(0.125) / 0.5, 1e-12);
+}
+
+TEST_F(MetricsFixture, PerfectBalanceIsHundredPercent) {
+  collector.on_submission(0.0);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    collector.record(record(i, 1 + i / 2, i % 2 == 0 ? 0b01 : 0b10, 0.0,
+                            100.0, 1e3));
+  }
+  EXPECT_DOUBLE_EQ(collector.report().total.balance, 1.0);
+}
+
+TEST_F(MetricsFixture, ExplicitWindowEndTruncates) {
+  collector.on_submission(0.0);
+  collector.record(record(1, 1, 0b01, 0.0, 50.0, 1e3));
+  const Report report = collector.report(200.0);
+  EXPECT_DOUBLE_EQ(report.window_end, 200.0);
+  EXPECT_DOUBLE_EQ(report.resources[0].utilisation, 50.0 / 200.0 / 2.0);
+}
+
+TEST_F(MetricsFixture, RejectsUnknownResource) {
+  EXPECT_THROW(collector.record(record(1, 9, 0b01, 0.0, 1.0, 2.0)),
+               AssertionError);
+}
+
+TEST_F(MetricsFixture, RejectsNodeBeyondResource) {
+  EXPECT_THROW(collector.record(record(1, 1, 0b100, 0.0, 1.0, 2.0)),
+               AssertionError);
+}
+
+TEST_F(MetricsFixture, RejectsNegativeDuration) {
+  EXPECT_THROW(collector.record(record(1, 1, 0b01, 5.0, 1.0, 2.0)),
+               AssertionError);
+}
+
+TEST_F(MetricsFixture, RejectsDuplicateResource) {
+  EXPECT_THROW(collector.add_resource(AgentId(1), "dup", 2), AssertionError);
+}
+
+TEST_F(MetricsFixture, KeepsRawRecords) {
+  collector.record(record(1, 1, 0b01, 0.0, 1.0, 2.0));
+  ASSERT_EQ(collector.records().size(), 1u);
+  EXPECT_EQ(collector.records()[0].task, TaskId(1));
+}
+
+TEST(FormatReport, ContainsRowsAndTotals) {
+  MetricsCollector collector;
+  collector.add_resource(AgentId(1), "S1", 2);
+  collector.on_submission(0.0);
+  sched::CompletionRecord r;
+  r.task = TaskId(1);
+  r.resource = AgentId(1);
+  r.mask = 0b01;
+  r.start = 0.0;
+  r.end = 10.0;
+  r.deadline = 20.0;
+  collector.record(r);
+  const std::string text = format_report(collector.report());
+  EXPECT_NE(text.find("S1"), std::string::npos);
+  EXPECT_NE(text.find("Total"), std::string::npos);
+  EXPECT_NE(text.find("eps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridlb::metrics

@@ -1,0 +1,110 @@
+#include "metrics/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace gridlb::metrics {
+namespace {
+
+sched::CompletionRecord record(std::uint64_t resource, sched::NodeMask mask,
+                               SimTime start, SimTime end) {
+  sched::CompletionRecord r;
+  r.task = TaskId(1);
+  r.resource = AgentId(resource);
+  r.mask = mask;
+  r.start = start;
+  r.end = end;
+  r.deadline = 1e6;
+  return r;
+}
+
+const std::vector<std::pair<std::string, int>> kTwoResources = {
+    {"S1", 2}, {"S2", 4}};
+
+TEST(Timeline, FullWindowFullNodes) {
+  // Both S1 nodes busy for the whole first window.
+  const auto timeline = build_timeline({record(1, 0b11, 0.0, 10.0)},
+                                       kTwoResources, 10.0, 0.0, 20.0);
+  ASSERT_EQ(timeline.buckets(), 2u);
+  EXPECT_DOUBLE_EQ(timeline.resources[0].utilisation[0], 1.0);
+  EXPECT_DOUBLE_EQ(timeline.resources[0].utilisation[1], 0.0);
+  EXPECT_DOUBLE_EQ(timeline.resources[1].utilisation[0], 0.0);
+  // Grid total: 2 of 6 nodes busy in window 0.
+  EXPECT_NEAR(timeline.total[0], 2.0 / 6.0, 1e-12);
+}
+
+TEST(Timeline, PartialOverlapIsProRated) {
+  // One S1 node busy 5..15 over two 10 s windows: half of one node each.
+  const auto timeline = build_timeline({record(1, 0b01, 5.0, 15.0)},
+                                       kTwoResources, 10.0, 0.0, 20.0);
+  EXPECT_DOUBLE_EQ(timeline.resources[0].utilisation[0], 0.25);
+  EXPECT_DOUBLE_EQ(timeline.resources[0].utilisation[1], 0.25);
+}
+
+TEST(Timeline, ExecutionsOutsideTheRangeAreClipped) {
+  const auto timeline = build_timeline({record(1, 0b01, -100.0, 5.0)},
+                                       kTwoResources, 10.0, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(timeline.resources[0].utilisation[0], 0.25);
+}
+
+TEST(Timeline, MultipleRecordsAccumulate) {
+  const auto timeline = build_timeline(
+      {record(1, 0b01, 0.0, 10.0), record(1, 0b10, 0.0, 10.0),
+       record(2, 0b1111, 0.0, 5.0)},
+      kTwoResources, 10.0, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(timeline.resources[0].utilisation[0], 1.0);
+  EXPECT_DOUBLE_EQ(timeline.resources[1].utilisation[0], 0.5);
+  EXPECT_NEAR(timeline.total[0], (2.0 * 10 + 4 * 5) / (10.0 * 6), 1e-12);
+}
+
+TEST(Timeline, ValidatesArguments) {
+  EXPECT_THROW(build_timeline({}, kTwoResources, 0.0, 0.0, 10.0),
+               AssertionError);
+  EXPECT_THROW(build_timeline({}, kTwoResources, 10.0, 10.0, 0.0),
+               AssertionError);
+  EXPECT_THROW(build_timeline({}, {}, 10.0, 0.0, 10.0), AssertionError);
+  EXPECT_THROW(build_timeline({record(5, 0b1, 0.0, 1.0)}, kTwoResources,
+                              10.0, 0.0, 10.0),
+               AssertionError);
+}
+
+TEST(Timeline, EmptyRangeStillHasOneBucket) {
+  const auto timeline = build_timeline({}, kTwoResources, 10.0, 0.0, 0.0);
+  EXPECT_EQ(timeline.buckets(), 1u);
+}
+
+TEST(Timeline, FromCollector) {
+  MetricsCollector collector;
+  collector.add_resource(AgentId(1), "S1", 2);
+  collector.on_submission(0.0);
+  collector.record(record(1, 0b11, 0.0, 30.0));
+  const auto timeline = build_timeline(collector, 10.0);
+  ASSERT_EQ(timeline.buckets(), 3u);
+  for (const double u : timeline.resources[0].utilisation) {
+    EXPECT_DOUBLE_EQ(u, 1.0);
+  }
+}
+
+TEST(Timeline, CsvLongFormat) {
+  const auto timeline = build_timeline({record(1, 0b01, 0.0, 10.0)},
+                                       kTwoResources, 10.0, 0.0, 10.0);
+  const std::string csv = timeline_csv(timeline);
+  EXPECT_NE(csv.find("window_start,resource,utilisation"),
+            std::string::npos);
+  // One of S1's two nodes busy for the whole window = 0.5.
+  EXPECT_NE(csv.find("0,S1,0.5"), std::string::npos) << csv;
+  EXPECT_NE(csv.find("0,Total,"), std::string::npos);
+}
+
+TEST(Timeline, RenderShadesByDecile) {
+  const auto timeline = build_timeline(
+      {record(1, 0b11, 0.0, 10.0)}, kTwoResources, 10.0, 0.0, 20.0);
+  const std::string text = render_timeline(timeline);
+  // S1: full busy then idle -> '@' then ' '.
+  EXPECT_NE(text.find("S1     |@ |"), std::string::npos) << text;
+  EXPECT_NE(text.find("S2     |  |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridlb::metrics

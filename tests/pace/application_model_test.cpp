@@ -1,0 +1,133 @@
+#include "pace/application_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace gridlb::pace {
+namespace {
+
+TEST(TabulatedModel, ReturnsTableValues) {
+  const TabulatedModel model("demo", {1, 10}, {30, 20, 15, 12});
+  EXPECT_DOUBLE_EQ(model.reference_time(1), 30);
+  EXPECT_DOUBLE_EQ(model.reference_time(2), 20);
+  EXPECT_DOUBLE_EQ(model.reference_time(4), 12);
+  EXPECT_EQ(model.max_procs(), 4);
+}
+
+TEST(TabulatedModel, SaturatesBeyondMaxProcs) {
+  // "when the number of processors is more than 16, the run time does not
+  // improve any further" — the model clamps, rather than extrapolating.
+  const TabulatedModel model("demo", {1, 10}, {30, 20});
+  EXPECT_DOUBLE_EQ(model.reference_time(2), 20);
+  EXPECT_DOUBLE_EQ(model.reference_time(7), 20);
+  EXPECT_DOUBLE_EQ(model.reference_time(1000), 20);
+}
+
+TEST(TabulatedModel, RejectsBadInputs) {
+  EXPECT_THROW(TabulatedModel("x", {0, 1}, {}), AssertionError);
+  EXPECT_THROW(TabulatedModel("x", {0, 1}, {1.0, -2.0}), AssertionError);
+  EXPECT_THROW(TabulatedModel("x", {0, 1}, {1.0, 0.0}), AssertionError);
+  EXPECT_THROW(TabulatedModel("", {0, 1}, {1.0}), AssertionError);
+  EXPECT_THROW(TabulatedModel("x", {5, 2}, {1.0}), AssertionError);
+  EXPECT_THROW(TabulatedModel("x", {-1, 2}, {1.0}), AssertionError);
+}
+
+TEST(ApplicationModel, RejectsNonPositiveProcCount) {
+  const TabulatedModel model("x", {0, 1}, {1.0});
+  EXPECT_THROW((void)model.reference_time(0), AssertionError);
+  EXPECT_THROW((void)model.reference_time(-3), AssertionError);
+}
+
+TEST(ParametricModel, FormulaMatches) {
+  ParametricModel::Params params;
+  params.serial = 2.0;
+  params.parallel = 60.0;
+  params.comm_per_link = 0.5;
+  params.sync = 1.0;
+  params.max_procs = 16;
+  const ParametricModel model("m", {0, 1}, params);
+  EXPECT_DOUBLE_EQ(model.reference_time(1), 62.0);
+  EXPECT_DOUBLE_EQ(model.reference_time(4),
+                   2.0 + 15.0 + 0.5 * 3 + 1.0 * 2.0);
+  EXPECT_DOUBLE_EQ(model.reference_time(16),
+                   2.0 + 60.0 / 16 + 0.5 * 15 + 4.0);
+}
+
+TEST(ParametricModel, CommunicationCreatesSweetSpot) {
+  // With a strong per-link cost the runtime curve must turn upward, like
+  // improc in Table 1.
+  ParametricModel::Params params;
+  params.parallel = 48.0;
+  params.comm_per_link = 1.0;
+  const ParametricModel model("m", {0, 1}, params);
+  double best = 1e9;
+  int best_k = 0;
+  for (int k = 1; k <= 16; ++k) {
+    if (model.reference_time(k) < best) {
+      best = model.reference_time(k);
+      best_k = k;
+    }
+  }
+  EXPECT_GT(best_k, 1);
+  EXPECT_LT(best_k, 16);
+  EXPECT_GT(model.reference_time(16), best);
+}
+
+TEST(ParametricModel, RejectsDegenerateParams) {
+  ParametricModel::Params no_work;
+  EXPECT_THROW(ParametricModel("m", {0, 1}, no_work), AssertionError);
+  ParametricModel::Params negative;
+  negative.parallel = 10.0;
+  negative.comm_per_link = -1.0;
+  EXPECT_THROW(ParametricModel("m", {0, 1}, negative), AssertionError);
+  ParametricModel::Params zero_procs;
+  zero_procs.parallel = 10.0;
+  zero_procs.max_procs = 0;
+  EXPECT_THROW(ParametricModel("m", {0, 1}, zero_procs), AssertionError);
+}
+
+TEST(Catalogue, FindByName) {
+  ApplicationCatalogue catalogue;
+  catalogue.add(std::make_shared<TabulatedModel>(
+      "alpha", DeadlineDomain{1, 2}, std::vector<double>{5.0}));
+  catalogue.add(std::make_shared<TabulatedModel>(
+      "beta", DeadlineDomain{1, 2}, std::vector<double>{6.0}));
+  EXPECT_EQ(catalogue.size(), 2u);
+  ASSERT_NE(catalogue.find("beta"), nullptr);
+  EXPECT_EQ(catalogue.find("beta")->reference_time(1), 6.0);
+  EXPECT_EQ(catalogue.find("gamma"), nullptr);
+}
+
+TEST(Catalogue, RejectsDuplicatesAndNull) {
+  ApplicationCatalogue catalogue;
+  catalogue.add(std::make_shared<TabulatedModel>(
+      "alpha", DeadlineDomain{1, 2}, std::vector<double>{5.0}));
+  EXPECT_THROW(catalogue.add(std::make_shared<TabulatedModel>(
+                   "alpha", DeadlineDomain{1, 2}, std::vector<double>{7.0})),
+               AssertionError);
+  EXPECT_THROW(catalogue.add(nullptr), AssertionError);
+}
+
+// Property: parametric models are monotone in each additive component.
+class ParametricMonotone : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParametricMonotone, MoreCommNeverFaster) {
+  const int k = GetParam();
+  ParametricModel::Params lo;
+  lo.parallel = 40.0;
+  lo.comm_per_link = 0.1;
+  ParametricModel::Params hi = lo;
+  hi.comm_per_link = 0.9;
+  const ParametricModel cheap("lo", {0, 1}, lo);
+  const ParametricModel costly("hi", {0, 1}, hi);
+  EXPECT_LE(cheap.reference_time(k), costly.reference_time(k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Procs, ParametricMonotone,
+                         ::testing::Range(1, 17));
+
+}  // namespace
+}  // namespace gridlb::pace

@@ -1,0 +1,57 @@
+#include "pace/hardware.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gridlb::pace {
+namespace {
+
+TEST(Hardware, FiveCaseStudyPlatforms) {
+  EXPECT_EQ(all_hardware_types().size(), 5u);
+}
+
+TEST(Hardware, NamesMatchFig7) {
+  EXPECT_EQ(hardware_name(HardwareType::kSgiOrigin2000), "SGIOrigin2000");
+  EXPECT_EQ(hardware_name(HardwareType::kSunUltra10), "SunUltra10");
+  EXPECT_EQ(hardware_name(HardwareType::kSunUltra5), "SunUltra5");
+  EXPECT_EQ(hardware_name(HardwareType::kSunUltra1), "SunUltra1");
+  EXPECT_EQ(hardware_name(HardwareType::kSunSparcStation2),
+            "SunSPARCstation2");
+}
+
+TEST(Hardware, NameRoundTrip) {
+  for (const HardwareType type : all_hardware_types()) {
+    const auto parsed = hardware_from_name(hardware_name(type));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, type);
+  }
+}
+
+TEST(Hardware, UnknownNameIsNullopt) {
+  EXPECT_FALSE(hardware_from_name("Cray T3E").has_value());
+  EXPECT_FALSE(hardware_from_name("").has_value());
+}
+
+TEST(Hardware, ReferenceFactorIsOne) {
+  EXPECT_DOUBLE_EQ(performance_factor(HardwareType::kSgiOrigin2000), 1.0);
+}
+
+TEST(Hardware, FactorsOrderedFastestFirst) {
+  // "The SGI multi-processor is the most powerful, followed by the Sun
+  // Ultra 10, 5, 1, and SPARCStation 2 in turn."
+  double previous = 0.0;
+  for (const HardwareType type : all_hardware_types()) {
+    const double factor = performance_factor(type);
+    EXPECT_GT(factor, previous);
+    previous = factor;
+  }
+}
+
+TEST(Hardware, ResourceModelOfUsesCatalogueFactor) {
+  const ResourceModel model = ResourceModel::of(HardwareType::kSunUltra5);
+  EXPECT_EQ(model.type, HardwareType::kSunUltra5);
+  EXPECT_DOUBLE_EQ(model.factor,
+                   performance_factor(HardwareType::kSunUltra5));
+}
+
+}  // namespace
+}  // namespace gridlb::pace

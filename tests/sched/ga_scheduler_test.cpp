@@ -1,0 +1,255 @@
+#include "sched/ga_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+#include "pace/paper_applications.hpp"
+#include "sched/fifo_scheduler.hpp"
+
+namespace gridlb::sched {
+namespace {
+
+struct GaFixture : ::testing::Test {
+  pace::EvaluationEngine engine;
+  pace::CachedEvaluator evaluator{engine};
+  pace::ResourceModel sgi =
+      pace::ResourceModel::of(pace::HardwareType::kSgiOrigin2000);
+  ScheduleBuilder builder{evaluator, sgi, 16};
+  pace::ApplicationCatalogue catalogue = pace::paper_catalogue();
+  std::vector<SimTime> idle = std::vector<SimTime>(16, 0.0);
+
+  std::vector<Task> make_tasks(int count, std::uint64_t seed = 1,
+                               double deadline_scale = 1.0) {
+    Rng rng(seed);
+    std::vector<Task> tasks;
+    for (int i = 0; i < count; ++i) {
+      Task task;
+      task.id = TaskId(static_cast<std::uint64_t>(i) + 1);
+      task.app = catalogue.all()[static_cast<std::size_t>(
+          rng.next_below(catalogue.size()))];
+      const auto domain = task.app->deadline_domain();
+      task.deadline = rng.uniform(domain.lo, domain.hi) * deadline_scale;
+      tasks.push_back(std::move(task));
+    }
+    return tasks;
+  }
+};
+
+TEST_F(GaFixture, ConfigValidation) {
+  GaConfig bad;
+  bad.population_size = 1;
+  EXPECT_THROW(GaScheduler(builder, bad, 1), AssertionError);
+  bad = GaConfig{};
+  bad.generations = 0;
+  EXPECT_THROW(GaScheduler(builder, bad, 1), AssertionError);
+  bad = GaConfig{};
+  bad.elite = bad.population_size;
+  EXPECT_THROW(GaScheduler(builder, bad, 1), AssertionError);
+  bad = GaConfig{};
+  bad.crossover_rate = 1.5;
+  EXPECT_THROW(GaScheduler(builder, bad, 1), AssertionError);
+}
+
+TEST_F(GaFixture, EmptyTaskSetYieldsEmptySchedule) {
+  GaScheduler scheduler(builder, GaConfig{}, 1);
+  const auto result = scheduler.optimize({}, idle, 0.0);
+  EXPECT_EQ(result.best.task_count(), 0);
+  EXPECT_EQ(result.schedule.makespan, 0.0);
+}
+
+TEST_F(GaFixture, ResultIsValidAndDecodesConsistently) {
+  GaScheduler scheduler(builder, GaConfig{}, 2);
+  const auto tasks = make_tasks(10);
+  const auto result = scheduler.optimize(tasks, idle, 0.0);
+  EXPECT_TRUE(result.best.valid());
+  EXPECT_EQ(result.best.task_count(), 10);
+  const auto redecoded = builder.decode(tasks, result.best, idle, 0.0);
+  EXPECT_DOUBLE_EQ(redecoded.makespan, result.schedule.makespan);
+  EXPECT_DOUBLE_EQ(cost_value(redecoded, scheduler.config().weights),
+                   result.best_cost);
+}
+
+TEST_F(GaFixture, DeterministicForFixedSeed) {
+  const auto tasks = make_tasks(8);
+  GaScheduler a(builder, GaConfig{}, 42);
+  GaScheduler b(builder, GaConfig{}, 42);
+  const auto result_a = a.optimize(tasks, idle, 0.0);
+  const auto result_b = b.optimize(tasks, idle, 0.0);
+  EXPECT_EQ(result_a.best, result_b.best);
+  EXPECT_DOUBLE_EQ(result_a.best_cost, result_b.best_cost);
+}
+
+TEST_F(GaFixture, MoreGenerationsNeverWorse) {
+  const auto tasks = make_tasks(12);
+  GaConfig few;
+  few.generations = 2;
+  few.seed_heuristic = false;
+  GaConfig many = few;
+  many.generations = 80;
+  const double cost_few =
+      GaScheduler(builder, few, 7).optimize(tasks, idle, 0.0).best_cost;
+  const double cost_many =
+      GaScheduler(builder, many, 7).optimize(tasks, idle, 0.0).best_cost;
+  EXPECT_LE(cost_many, cost_few);
+}
+
+TEST_F(GaFixture, BeatsRandomSolutions) {
+  const auto tasks = make_tasks(12);
+  GaConfig config;
+  config.generations = 60;
+  GaScheduler scheduler(builder, config, 3);
+  const auto result = scheduler.optimize(tasks, idle, 0.0);
+
+  Rng rng(99);
+  double best_random = 1e300;
+  for (int i = 0; i < 200; ++i) {
+    const auto random = SolutionString::random(12, 16, rng);
+    const auto decoded = builder.decode(tasks, random, idle, 0.0);
+    best_random = std::min(best_random,
+                           cost_value(decoded, scheduler.config().weights));
+  }
+  EXPECT_LT(result.best_cost, best_random);
+}
+
+TEST_F(GaFixture, GaCostNeverExceedsGreedyListScheduling) {
+  // A greedy arrival-order list schedule (FIFO with the min-completion
+  // objective) is seeded into the population, so the GA's best cost can
+  // never exceed the greedy schedule's cost.
+  const auto tasks = make_tasks(15);
+  GaConfig config;
+  config.generations = 1;  // no evolution: seeds alone must suffice
+  GaScheduler scheduler(builder, config, 5);
+  const auto result = scheduler.optimize(tasks, idle, 0.0);
+
+  // Reconstruct the greedy schedule as a solution string and cost it.
+  FifoScheduler fifo(evaluator, sgi, 16, FifoObjective::kMinCompletion);
+  std::vector<SimTime> free = idle;
+  std::vector<int> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<NodeMask> mapping(tasks.size());
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const auto placement = fifo.place(tasks[t], free, 0.0);
+    mapping[t] = placement.mask;
+    for_each_node(placement.mask, [&](int node) {
+      free[static_cast<std::size_t>(node)] = placement.end;
+    });
+  }
+  const SolutionString greedy(std::move(order), std::move(mapping), 16);
+  const auto greedy_decoded = builder.decode(tasks, greedy, idle, 0.0);
+  const double greedy_cost =
+      cost_value(greedy_decoded, scheduler.config().weights);
+  EXPECT_LE(result.best_cost, greedy_cost + 1e-9);
+}
+
+TEST_F(GaFixture, ConvergesTowardMeetingDeadlines) {
+  // Generous deadlines: a reasonable schedule meets all of them.
+  auto tasks = make_tasks(8);
+  for (auto& task : tasks) task.deadline = 500.0;
+  GaConfig config;
+  config.generations = 60;
+  GaScheduler scheduler(builder, config, 11);
+  const auto result = scheduler.optimize(tasks, idle, 0.0);
+  EXPECT_EQ(result.schedule.deadline_misses, 0);
+}
+
+TEST_F(GaFixture, WarmStartAbsorbsTaskChanges) {
+  GaScheduler scheduler(builder, GaConfig{}, 13);
+  auto tasks = make_tasks(10);
+  const auto first = scheduler.optimize(tasks, idle, 0.0);
+  EXPECT_EQ(first.best.task_count(), 10);
+
+  // Two tasks start executing (drop), three new arrive.
+  tasks.erase(tasks.begin(), tasks.begin() + 2);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    Task task;
+    task.id = TaskId(100 + i);
+    task.app = catalogue.find("cpi");
+    task.deadline = 60.0;
+    tasks.push_back(std::move(task));
+  }
+  const auto second = scheduler.optimize(tasks, idle, 10.0);
+  EXPECT_TRUE(second.best.valid());
+  EXPECT_EQ(second.best.task_count(), 11);
+}
+
+TEST_F(GaFixture, TracksDecodeBudget) {
+  GaConfig config;
+  config.population_size = 10;
+  config.generations = 5;
+  GaScheduler scheduler(builder, config, 17);
+  const auto result = scheduler.optimize(make_tasks(5), idle, 0.0);
+  EXPECT_EQ(result.decodes, 50u);
+  EXPECT_EQ(result.generations_run, 5);
+  EXPECT_EQ(scheduler.total_decodes(), 50u);
+}
+
+TEST_F(GaFixture, RespectsBusyNodes) {
+  // All nodes busy until t=100: nothing can complete before then.
+  const std::vector<SimTime> busy(16, 100.0);
+  GaScheduler scheduler(builder, GaConfig{}, 19);
+  const auto result = scheduler.optimize(make_tasks(4), busy, 0.0);
+  for (const auto& placement : result.schedule.placements) {
+    EXPECT_GE(placement.start, 100.0);
+  }
+}
+
+TEST_F(GaFixture, SingleTaskGetsEfficientAllocation) {
+  // One cpi task, tight deadline: the GA should find a wide allocation
+  // close to the 12-processor optimum (2 s on the reference platform).
+  std::vector<Task> tasks;
+  Task task;
+  task.id = TaskId(1);
+  task.app = catalogue.find("cpi");
+  task.deadline = 5.0;
+  tasks.push_back(std::move(task));
+  GaConfig config;
+  config.generations = 40;
+  GaScheduler scheduler(builder, config, 23);
+  const auto result = scheduler.optimize(tasks, idle, 0.0);
+  EXPECT_LE(result.schedule.placements[0].end, 5.0);
+}
+
+// Property: across seeds, optimize() output is always structurally sound.
+class GaProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GaProperty, AlwaysValidAndPenaltyConsistent) {
+  pace::EvaluationEngine engine;
+  pace::CachedEvaluator evaluator(engine);
+  ScheduleBuilder builder(
+      evaluator, pace::ResourceModel::of(pace::HardwareType::kSunUltra5), 8);
+  const auto catalogue = pace::paper_catalogue();
+
+  Rng rng(GetParam());
+  std::vector<Task> tasks;
+  const auto count = 1 + rng.next_below(20);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Task task;
+    task.id = TaskId(i);
+    task.app = catalogue.all()[static_cast<std::size_t>(
+        rng.next_below(catalogue.size()))];
+    task.deadline = rng.uniform(0.0, 400.0);
+    tasks.push_back(std::move(task));
+  }
+  GaConfig config;
+  config.population_size = 20;
+  config.generations = 10;
+  GaScheduler scheduler(builder, config, GetParam() * 7);
+  std::vector<SimTime> free(8, 0.0);
+  const auto result = scheduler.optimize(tasks, free, 0.0);
+  ASSERT_TRUE(result.best.valid());
+  double penalty = 0.0;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    penalty += std::max(0.0, result.schedule.placements[t].end -
+                                 tasks[t].deadline);
+  }
+  EXPECT_NEAR(penalty, result.schedule.contract_penalty, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GaProperty,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace gridlb::sched

@@ -1,0 +1,274 @@
+#include "sched/schedule_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "pace/paper_applications.hpp"
+
+namespace gridlb::sched {
+namespace {
+
+struct BuilderFixture : ::testing::Test {
+  pace::EvaluationEngine engine;
+  pace::CachedEvaluator evaluator{engine};
+  pace::ResourceModel sgi =
+      pace::ResourceModel::of(pace::HardwareType::kSgiOrigin2000);
+  ScheduleBuilder builder{evaluator, sgi, 4};
+  pace::ApplicationCatalogue catalogue = pace::paper_catalogue();
+
+  Task make_task(std::uint64_t id, const char* app, SimTime deadline,
+                 SimTime arrival = 0.0) {
+    Task task;
+    task.id = TaskId(id);
+    task.app = catalogue.find(app);
+    task.arrival = arrival;
+    task.deadline = deadline;
+    return task;
+  }
+};
+
+TEST_F(BuilderFixture, EmptyScheduleIsZero) {
+  const std::vector<Task> tasks;
+  const SolutionString solution({}, {}, 4);
+  const std::vector<SimTime> free(4, 0.0);
+  const auto decoded = builder.decode(tasks, solution, free, 0.0);
+  EXPECT_EQ(decoded.makespan, 0.0);
+  EXPECT_EQ(decoded.total_idle, 0.0);
+  EXPECT_EQ(decoded.contract_penalty, 0.0);
+  EXPECT_EQ(decoded.completion, 0.0);
+}
+
+TEST_F(BuilderFixture, SingleTaskOnAllNodes) {
+  // closure on 4 SGI nodes takes 8 s (Table 1).
+  const std::vector<Task> tasks = {make_task(1, "closure", 100.0)};
+  const SolutionString solution({0}, {0b1111}, 4);
+  const std::vector<SimTime> free(4, 0.0);
+  const auto decoded = builder.decode(tasks, solution, free, 0.0);
+  EXPECT_DOUBLE_EQ(decoded.placements[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(decoded.placements[0].end, 8.0);
+  EXPECT_DOUBLE_EQ(decoded.makespan, 8.0);
+  EXPECT_DOUBLE_EQ(decoded.total_idle, 0.0);
+  EXPECT_EQ(decoded.deadline_misses, 0);
+  EXPECT_DOUBLE_EQ(decoded.mean_completion, 8.0);
+}
+
+TEST_F(BuilderFixture, ExecutionTimeDependsOnAllocationWidth) {
+  const std::vector<Task> tasks = {make_task(1, "closure", 100.0)};
+  const std::vector<SimTime> free(4, 0.0);
+  // 1 node: 9 s; 2 nodes: 9 s; 3 nodes: 8 s (Table 1 row for closure).
+  const auto one = builder.decode(
+      tasks, SolutionString({0}, {0b0001}, 4), free, 0.0);
+  const auto three = builder.decode(
+      tasks, SolutionString({0}, {0b0111}, 4), free, 0.0);
+  EXPECT_DOUBLE_EQ(one.placements[0].end, 9.0);
+  EXPECT_DOUBLE_EQ(three.placements[0].end, 8.0);
+}
+
+TEST_F(BuilderFixture, TasksSharingNodesSerialise) {
+  const std::vector<Task> tasks = {make_task(1, "closure", 100.0),
+                                   make_task(2, "closure", 100.0)};
+  // Both on nodes {0,1}: second starts when the first ends (9 s each at
+  // width 2).
+  const SolutionString solution({0, 1}, {0b0011, 0b0011}, 4);
+  const std::vector<SimTime> free(4, 0.0);
+  const auto decoded = builder.decode(tasks, solution, free, 0.0);
+  EXPECT_DOUBLE_EQ(decoded.placements[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(decoded.placements[0].end, 9.0);
+  EXPECT_DOUBLE_EQ(decoded.placements[1].start, 9.0);
+  EXPECT_DOUBLE_EQ(decoded.placements[1].end, 18.0);
+}
+
+TEST_F(BuilderFixture, DisjointTasksRunInParallel) {
+  const std::vector<Task> tasks = {make_task(1, "closure", 100.0),
+                                   make_task(2, "closure", 100.0)};
+  const SolutionString solution({0, 1}, {0b0011, 0b1100}, 4);
+  const std::vector<SimTime> free(4, 0.0);
+  const auto decoded = builder.decode(tasks, solution, free, 0.0);
+  EXPECT_DOUBLE_EQ(decoded.placements[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(decoded.placements[1].start, 0.0);
+  EXPECT_DOUBLE_EQ(decoded.makespan, 9.0);
+}
+
+TEST_F(BuilderFixture, OrderingPartControlsSequence) {
+  const std::vector<Task> tasks = {make_task(1, "closure", 100.0),
+                                   make_task(2, "fft", 100.0)};
+  const std::vector<SimTime> free(4, 0.0);
+  // Same masks, different order: the first-positioned task starts at 0.
+  const auto closure_first = builder.decode(
+      tasks, SolutionString({0, 1}, {0b1111, 0b1111}, 4), free, 0.0);
+  const auto fft_first = builder.decode(
+      tasks, SolutionString({1, 0}, {0b1111, 0b1111}, 4), free, 0.0);
+  EXPECT_DOUBLE_EQ(closure_first.placements[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(closure_first.placements[1].start, 8.0);
+  EXPECT_DOUBLE_EQ(fft_first.placements[1].start, 0.0);
+  EXPECT_DOUBLE_EQ(fft_first.placements[0].start, 22.0);  // fft@4 = 22 s
+}
+
+TEST_F(BuilderFixture, UnisonStartWaitsForAllAllocatedNodes) {
+  // Node 3 is busy until t=10; a task on {0,3} must start at 10, leaving
+  // node 0 idle for 10 s.
+  const std::vector<Task> tasks = {make_task(1, "closure", 100.0)};
+  const SolutionString solution({0}, {0b1001}, 4);
+  const std::vector<SimTime> free = {0.0, 0.0, 0.0, 10.0};
+  const auto decoded = builder.decode(tasks, solution, free, 0.0);
+  EXPECT_DOUBLE_EQ(decoded.placements[0].start, 10.0);
+  // idle: node 0 waits 10 s; nodes 1,2 idle for the whole 19 s window.
+  EXPECT_DOUBLE_EQ(decoded.total_idle, 10.0 + 19.0 + 19.0);
+}
+
+TEST_F(BuilderFixture, PastFreeTimesAreSunkCost) {
+  // Node availability in the past is clamped to `now`: idle accrued before
+  // the decision point is not charged to the schedule.
+  const std::vector<Task> tasks = {make_task(1, "closure", 1000.0)};
+  const SolutionString solution({0}, {0b1111}, 4);
+  const std::vector<SimTime> free(4, -50.0);
+  const auto decoded = builder.decode(tasks, solution, free, 100.0);
+  EXPECT_DOUBLE_EQ(decoded.placements[0].start, 100.0);
+  EXPECT_DOUBLE_EQ(decoded.total_idle, 0.0);
+  EXPECT_DOUBLE_EQ(decoded.makespan, 8.0);
+}
+
+TEST_F(BuilderFixture, ContractPenaltySumsOverruns) {
+  const std::vector<Task> tasks = {
+      make_task(1, "closure", 5.0),   // ends 8 -> 3 s late
+      make_task(2, "closure", 20.0),  // ends 16 -> on time
+  };
+  const SolutionString solution({0, 1}, {0b1111, 0b1111}, 4);
+  const std::vector<SimTime> free(4, 0.0);
+  const auto decoded = builder.decode(tasks, solution, free, 0.0);
+  EXPECT_DOUBLE_EQ(decoded.contract_penalty, 3.0);
+  EXPECT_EQ(decoded.deadline_misses, 1);
+}
+
+TEST_F(BuilderFixture, FrontWeightedIdlePenalisesEarlyGaps) {
+  // Two schedules with the same total idle: one idles early, one late.
+  // closure@2 = 9 s; fft@2 = 24 s.
+  const std::vector<Task> tasks = {make_task(1, "closure", 1e3),
+                                   make_task(2, "fft", 1e3)};
+  const std::vector<SimTime> free(4, 0.0);
+  // Early idle: nodes 2,3 run the short task then wait for nothing; the
+  // long task runs after on the same nodes 0,1... construct instead:
+  // A: closure first on {2,3} (9 s), fft on {2,3} after -> nodes 0,1 idle
+  //    the whole window (gap spans the full window, weight ~1 on average).
+  const auto flat = builder.decode(
+      tasks, SolutionString({0, 1}, {0b1100, 0b1100}, 4), free, 0.0);
+  // B: fft on {0,1} and closure on {2,3}; nodes 2,3 idle at the END of the
+  // window (after 9 s) — late idle weighs less.
+  const auto late = builder.decode(
+      tasks, SolutionString({0, 1}, {0b1100, 0b0011}, 4), free, 0.0);
+  // C: closure on {2,3} *delayed* behind fft (shared nodes) — the idle on
+  // nodes 2,3 sits at the front.
+  const auto early = builder.decode(
+      tasks, SolutionString({1, 0}, {0b0011, 0b0011}, 4), free, 0.0);
+  // late idle (B): 24-9=15 s at the back on two nodes plus none else.
+  // early idle (C): fft runs 0..24 on {0,1}? no — both tasks on {0,1}.
+  // Just assert the weighting direction where totals are comparable:
+  EXPECT_GT(late.total_idle, 0.0);
+  const double late_ratio = late.weighted_idle / late.total_idle;
+  const double flat_ratio = flat.weighted_idle / flat.total_idle;
+  EXPECT_LT(late_ratio, 1.0);         // end-of-window idle under-weighted
+  EXPECT_NEAR(flat_ratio, 1.0, 0.35);  // full-window idle ~ neutral
+  (void)early;
+}
+
+TEST_F(BuilderFixture, MeanCompletionAveragesFlowtime) {
+  const std::vector<Task> tasks = {make_task(1, "closure", 1e3),
+                                   make_task(2, "closure", 1e3)};
+  const SolutionString solution({0, 1}, {0b1111, 0b1111}, 4);
+  const std::vector<SimTime> free(4, 0.0);
+  const auto decoded = builder.decode(tasks, solution, free, 0.0);
+  EXPECT_DOUBLE_EQ(decoded.mean_completion, (8.0 + 16.0) / 2.0);
+}
+
+TEST_F(BuilderFixture, RejectsMismatchedInputs) {
+  const std::vector<Task> tasks = {make_task(1, "closure", 1.0)};
+  const std::vector<SimTime> free(4, 0.0);
+  // Solution covers 2 tasks but only 1 given.
+  Rng rng(1);
+  const auto two = SolutionString::random(2, 4, rng);
+  EXPECT_THROW(builder.decode(tasks, two, free, 0.0), AssertionError);
+  // Wrong node_free width.
+  const auto one = SolutionString::random(1, 4, rng);
+  const std::vector<SimTime> narrow(3, 0.0);
+  EXPECT_THROW(builder.decode(tasks, one, narrow, 0.0), AssertionError);
+}
+
+TEST_F(BuilderFixture, ResourceFactorScalesSchedule) {
+  ScheduleBuilder slow(
+      evaluator, pace::ResourceModel::of(pace::HardwareType::kSunSparcStation2),
+      4);
+  const std::vector<Task> tasks = {make_task(1, "closure", 1e3)};
+  const SolutionString solution({0}, {0b1111}, 4);
+  const std::vector<SimTime> free(4, 0.0);
+  const auto fast = builder.decode(tasks, solution, free, 0.0);
+  const auto sparc = slow.decode(tasks, solution, free, 0.0);
+  EXPECT_DOUBLE_EQ(
+      sparc.makespan,
+      fast.makespan *
+          pace::performance_factor(pace::HardwareType::kSunSparcStation2));
+}
+
+// Property: for any random solution, decoded schedules never overlap on a
+// node and all metrics are internally consistent.
+class DecodeInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DecodeInvariants, NoNodeOverlapAndConsistentMetrics) {
+  pace::EvaluationEngine engine;
+  pace::CachedEvaluator evaluator(engine);
+  const auto sgi = pace::ResourceModel::of(pace::HardwareType::kSgiOrigin2000);
+  const int nodes = 6;
+  ScheduleBuilder builder(evaluator, sgi, nodes);
+  const auto catalogue = pace::paper_catalogue();
+
+  Rng rng(GetParam());
+  std::vector<Task> tasks;
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    Task task;
+    task.id = TaskId(i);
+    task.app = catalogue.all()[static_cast<std::size_t>(
+        rng.next_below(catalogue.size()))];
+    task.deadline = rng.uniform(0.0, 300.0);
+    tasks.push_back(std::move(task));
+  }
+  std::vector<SimTime> free(static_cast<std::size_t>(nodes));
+  for (auto& f : free) f = rng.uniform(0.0, 30.0);
+  const SimTime now = 10.0;
+
+  const auto solution = SolutionString::random(12, nodes, rng);
+  const auto decoded = builder.decode(tasks, solution, free, now);
+
+  // Per-node intervals must not overlap and must start no earlier than the
+  // node's (clamped) availability.
+  for (int node = 0; node < nodes; ++node) {
+    std::vector<std::pair<SimTime, SimTime>> intervals;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      const auto& p = decoded.placements[t];
+      if ((p.mask >> node) & 1u) intervals.emplace_back(p.start, p.end);
+    }
+    std::sort(intervals.begin(), intervals.end());
+    SimTime cursor = std::max(free[static_cast<std::size_t>(node)], now);
+    for (const auto& [start, end] : intervals) {
+      EXPECT_GE(start + 1e-9, cursor);
+      EXPECT_GT(end, start);
+      cursor = end;
+    }
+  }
+
+  // Makespan is the max completion; penalties are non-negative; the
+  // flowtime average sits between the shortest and longest latency.
+  SimTime max_end = now;
+  for (const auto& p : decoded.placements) max_end = std::max(max_end, p.end);
+  EXPECT_DOUBLE_EQ(decoded.completion, max_end);
+  EXPECT_DOUBLE_EQ(decoded.makespan, max_end - now);
+  EXPECT_GE(decoded.contract_penalty, 0.0);
+  EXPECT_GE(decoded.total_idle, -1e-9);
+  EXPECT_GE(decoded.weighted_idle, -1e-9);
+  EXPECT_LE(decoded.weighted_idle, 2.0 * decoded.total_idle + 1e-9);
+  EXPECT_LE(decoded.mean_completion, decoded.makespan + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DecodeInvariants,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace gridlb::sched

@@ -1,0 +1,193 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gridlb::sim {
+namespace {
+
+TEST(Engine, StartsAtZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0.0);
+  EXPECT_FALSE(engine.has_pending());
+}
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&order]() { order.push_back(3); });
+  engine.schedule_at(1.0, [&order]() { order.push_back(1); });
+  engine.schedule_at(2.0, [&order]() { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 3.0);
+}
+
+TEST(Engine, TiesBreakInSchedulingOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    engine.schedule_at(1.0, [&order, i]() { order.push_back(i); });
+  }
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Engine, ClockShowsEventTimeInsideCallback) {
+  Engine engine;
+  engine.schedule_at(7.5, [&engine]() { EXPECT_EQ(engine.now(), 7.5); });
+  engine.run();
+}
+
+TEST(Engine, ScheduleInIsRelative) {
+  Engine engine;
+  SimTime fired_at = kNoTime;
+  engine.schedule_at(2.0, [&]() {
+    engine.schedule_in(3.0, [&]() { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(fired_at, 5.0);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine engine;
+  int fired = 0;
+  std::function<void()> chain = [&]() {
+    ++fired;
+    if (fired < 10) engine.schedule_in(1.0, chain);
+  };
+  engine.schedule_at(0.0, chain);
+  engine.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(engine.now(), 9.0);
+}
+
+TEST(Engine, RejectsPastEvents) {
+  Engine engine;
+  engine.schedule_at(5.0, []() {});
+  engine.run();
+  EXPECT_THROW(engine.schedule_at(4.0, []() {}), AssertionError);
+}
+
+TEST(Engine, RejectsNullCallback) {
+  Engine engine;
+  EXPECT_THROW(engine.schedule_at(1.0, nullptr), AssertionError);
+}
+
+TEST(Engine, RejectsInfiniteTime) {
+  Engine engine;
+  EXPECT_THROW(engine.schedule_at(kTimeInfinity, []() {}), AssertionError);
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  Engine engine;
+  bool fired = false;
+  const EventId id = engine.schedule_at(1.0, [&fired]() { fired = true; });
+  EXPECT_TRUE(engine.cancel(id));
+  engine.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelUnknownIdReturnsFalse) {
+  Engine engine;
+  EXPECT_FALSE(engine.cancel(0));
+  EXPECT_FALSE(engine.cancel(9999));
+}
+
+TEST(Engine, StepReturnsFalseWhenIdle) {
+  Engine engine;
+  EXPECT_FALSE(engine.step());
+  engine.schedule_at(1.0, []() {});
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine engine;
+  std::vector<double> fired;
+  for (const double t : {1.0, 2.0, 3.0, 4.0}) {
+    engine.schedule_at(t, [&fired, &engine]() { fired.push_back(engine.now()); });
+  }
+  engine.run_until(2.5);
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(engine.now(), 2.5);
+  engine.run();
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0, 3.0, 4.0}));
+}
+
+TEST(Engine, RunUntilAdvancesClockEvenWithoutEvents) {
+  Engine engine;
+  engine.run_until(10.0);
+  EXPECT_EQ(engine.now(), 10.0);
+}
+
+TEST(Engine, NextEventTime) {
+  Engine engine;
+  EXPECT_EQ(engine.next_event_time(), kTimeInfinity);
+  engine.schedule_at(4.0, []() {});
+  const EventId early = engine.schedule_at(2.0, []() {});
+  EXPECT_EQ(engine.next_event_time(), 2.0);
+  engine.cancel(early);
+  EXPECT_EQ(engine.next_event_time(), 4.0);
+}
+
+TEST(Engine, PeriodicFiresRepeatedly) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_periodic(0.0, 10.0, [&count]() { ++count; });
+  engine.run_until(35.0);
+  EXPECT_EQ(count, 4);  // t = 0, 10, 20, 30
+}
+
+TEST(Engine, PeriodicCancelStopsChain) {
+  Engine engine;
+  int count = 0;
+  const EventId chain =
+      engine.schedule_periodic(0.0, 1.0, [&count]() { ++count; });
+  engine.schedule_at(4.5, [&engine, chain]() { engine.cancel(chain); });
+  engine.run_until(100.0);
+  EXPECT_EQ(count, 5);  // t = 0..4
+}
+
+TEST(Engine, PeriodicCancelFromInsideCallback) {
+  Engine engine;
+  int count = 0;
+  EventId chain = 0;
+  chain = engine.schedule_periodic(0.0, 1.0, [&]() {
+    ++count;
+    if (count == 3) engine.cancel(chain);
+  });
+  engine.run_until(100.0);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Engine, PeriodicRejectsNonPositivePeriod) {
+  Engine engine;
+  EXPECT_THROW(engine.schedule_periodic(0.0, 0.0, []() {}), AssertionError);
+}
+
+TEST(Engine, EventsProcessedCounter) {
+  Engine engine;
+  for (int i = 0; i < 7; ++i) engine.schedule_at(i, []() {});
+  engine.run();
+  EXPECT_EQ(engine.events_processed(), 7u);
+}
+
+TEST(Engine, ManyEventsStressOrder) {
+  Engine engine;
+  std::vector<double> fired;
+  // Schedule in a scrambled order; firing must be sorted.
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>((i * 7919) % 1000);
+    engine.schedule_at(t, [&fired, &engine]() { fired.push_back(engine.now()); });
+  }
+  engine.run();
+  EXPECT_EQ(fired.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+}  // namespace
+}  // namespace gridlb::sim

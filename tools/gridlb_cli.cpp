@@ -1,0 +1,236 @@
+// gridlb — command-line driver for the grid load-balancing simulator.
+//
+//   gridlb table1
+//       Print the PACE predictions of Table 1.
+//   gridlb predict --app sweep3d [--hardware SunUltra5]
+//   gridlb predict --model file.pace [--hardware …]
+//       Evaluate an application model on a platform (1..16 nodes).
+//   gridlb experiment [--id 1|2|3|all] [--requests N] [--seed S] [--csv]
+//       Run the case-study experiments and print Table 3 (or CSV).
+//   gridlb campaign [--requests N] [--policy ga|fifo] [--agents on|off]
+//                   [--seed S] [--pull-period P] [--prediction-error E]
+//                   [--churn-mtbf M --churn-mttr R] [--csv] [--trace S1]
+//       Run a custom campaign on the Fig. 7 grid; --trace renders one
+//       resource's executed Gantt chart.
+//
+// Everything runs in virtual time; identical flags give identical output.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "core/gridlb.hpp"
+#include "pace/model_parser.hpp"
+#include "report/csv.hpp"
+#include "report/gantt.hpp"
+
+namespace {
+
+using namespace gridlb;
+
+int cmd_table1() {
+  pace::EvaluationEngine engine;
+  const auto catalogue = pace::paper_catalogue();
+  const auto sgi = pace::ResourceModel::of(pace::HardwareType::kSgiOrigin2000);
+  std::printf("%-10s %-10s", "app", "deadline");
+  for (int k = 1; k <= 16; ++k) std::printf(" %4d", k);
+  std::printf("\n");
+  for (const auto& model : catalogue.all()) {
+    const auto domain = model->deadline_domain();
+    char bounds[32];
+    std::snprintf(bounds, sizeof bounds, "[%.0f,%.0f]", domain.lo, domain.hi);
+    std::printf("%-10s %-10s", model->name().c_str(), bounds);
+    for (int k = 1; k <= 16; ++k) {
+      std::printf(" %4.0f", engine.evaluate(*model, sgi, k));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_predict(const Flags& flags) {
+  pace::ApplicationModelPtr model;
+  if (flags.has("model")) {
+    const std::string path = flags.get("model", "");
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open model file: %s\n", path.c_str());
+      return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    model = pace::parse_model(text.str());
+  } else {
+    const std::string app = flags.get("app", "sweep3d");
+    const auto catalogue = pace::paper_catalogue();
+    model = catalogue.find(app);
+    if (model == nullptr) {
+      std::fprintf(stderr, "unknown application: %s\n", app.c_str());
+      return 1;
+    }
+  }
+  const std::string hardware_name =
+      flags.get("hardware", "SGIOrigin2000");
+  const auto hardware = pace::hardware_from_name(hardware_name);
+  if (!hardware) {
+    std::fprintf(stderr, "unknown hardware type: %s\n",
+                 hardware_name.c_str());
+    return 1;
+  }
+  pace::EvaluationEngine engine;
+  const auto resource = pace::ResourceModel::of(*hardware);
+  std::printf("%s on %s (factor %.2f):\n", model->name().c_str(),
+              hardware_name.c_str(), resource.factor);
+  std::printf("  procs   runtime(s)\n");
+  for (int k = 1; k <= model->max_procs(); ++k) {
+    std::printf("  %5d   %10.2f\n", k, engine.evaluate(*model, resource, k));
+  }
+  return 0;
+}
+
+core::ExperimentConfig campaign_config(const Flags& flags) {
+  core::ExperimentConfig config = core::experiment3();
+  config.name = "campaign";
+  config.workload.count = flags.get_int("requests", 300);
+  config.workload.seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 2003));
+  const std::string policy = flags.get("policy", "ga");
+  GRIDLB_REQUIRE(policy == "ga" || policy == "fifo",
+                 "--policy must be ga or fifo");
+  config.policy = policy == "ga" ? sched::SchedulerPolicy::kGa
+                                 : sched::SchedulerPolicy::kFifo;
+  config.agents_enabled = flags.get_bool("agents", true);
+  config.pull_period = flags.get_double("pull-period", 10.0);
+  config.prediction_error = flags.get_double("prediction-error", 0.0);
+  const double mtbf = flags.get_double("churn-mtbf", 0.0);
+  if (mtbf > 0.0) {
+    config.churn.enabled = true;
+    config.churn.mtbf = mtbf;
+    config.churn.mttr = flags.get_double("churn-mttr", 120.0);
+    config.churn.horizon =
+        config.workload.start +
+        static_cast<double>(config.workload.count) * config.workload.interval;
+  }
+  return config;
+}
+
+int cmd_experiment(const Flags& flags) {
+  const std::string id = flags.get("id", "all");
+  std::vector<core::ExperimentConfig> configs;
+  if (id == "1" || id == "all") configs.push_back(core::experiment1());
+  if (id == "2" || id == "all") configs.push_back(core::experiment2());
+  if (id == "3" || id == "all") configs.push_back(core::experiment3());
+  if (configs.empty()) {
+    std::fprintf(stderr, "--id must be 1, 2, 3 or all\n");
+    return 1;
+  }
+  std::vector<core::ExperimentResult> results;
+  for (auto& config : configs) {
+    config.workload.count = flags.get_int("requests", 600);
+    config.workload.seed =
+        static_cast<std::uint64_t>(flags.get_int("seed", 2003));
+    std::fprintf(stderr, "running %s…\n", config.name.c_str());
+    results.push_back(core::run_experiment(config));
+  }
+  if (flags.get_bool("csv", false)) {
+    std::cout << report::experiments_csv(results);
+  } else {
+    std::cout << core::format_table3(results);
+  }
+  return 0;
+}
+
+int cmd_campaign(const Flags& flags) {
+  const core::ExperimentConfig config = campaign_config(flags);
+  const core::ExperimentResult result = core::run_experiment(config);
+
+  if (flags.has("trace")) {
+    // Render one resource's executed Gantt chart.
+    const std::string name = flags.get("trace", "S1");
+    int resource_index = -1;
+    for (std::size_t i = 0; i < config.resources.size(); ++i) {
+      if (config.resources[i].name == name) {
+        resource_index = static_cast<int>(i);
+        break;
+      }
+    }
+    if (resource_index < 0) {
+      std::fprintf(stderr, "unknown resource: %s\n", name.c_str());
+      return 1;
+    }
+    std::vector<sched::CompletionRecord> records;
+    for (const auto& record : result.completions) {
+      if (record.resource ==
+          AgentId(static_cast<std::uint64_t>(resource_index) + 1)) {
+        records.push_back(record);
+      }
+    }
+    std::printf("%s — %zu executions\n", name.c_str(), records.size());
+    std::cout << report::render_trace(
+        records, config.resources[static_cast<std::size_t>(resource_index)]
+                     .node_count);
+    return 0;
+  }
+  if (flags.get_bool("csv", false)) {
+    std::cout << report::report_csv(result.report);
+  } else {
+    std::cout << metrics::format_report(result.report);
+    std::printf("\n%llu/%llu tasks completed by t=%.0fs; %.2f mean hops; "
+                "%llu messages; cache hit rate %.1f%%\n",
+                static_cast<unsigned long long>(result.tasks_completed),
+                static_cast<unsigned long long>(result.requests_submitted),
+                result.finished_at, result.mean_hops,
+                static_cast<unsigned long long>(result.network_messages),
+                result.cache.hit_rate() * 100.0);
+  }
+  return 0;
+}
+
+Flags make_flags() {
+  Flags flags;
+  flags.declare("id", "1|2|3|all", "experiment(s) to run");
+  flags.declare("requests", "N", "number of portal requests");
+  flags.declare("seed", "S", "workload seed");
+  flags.declare("policy", "ga|fifo", "local scheduling policy");
+  flags.declare("agents", "on|off", "agent-based discovery");
+  flags.declare("pull-period", "sec", "advertisement pull period");
+  flags.declare("prediction-error", "e", "actual = predicted × U[1−e,1+e]");
+  flags.declare("churn-mtbf", "sec", "mean node up-time (0 = no churn)");
+  flags.declare("churn-mttr", "sec", "mean node repair time");
+  flags.declare("csv", "", "emit CSV instead of tables");
+  flags.declare("trace", "S1..S12", "render one resource's Gantt (campaign)");
+  flags.declare("app", "name", "paper application (predict)");
+  flags.declare("model", "file", "PACE model file (predict)");
+  flags.declare("hardware", "type", "platform name (predict)");
+  return flags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags = make_flags();
+  if (argc < 2) {
+    std::fprintf(stderr, "%s",
+                 flags.usage("gridlb <table1|predict|experiment|campaign>")
+                     .c_str());
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    flags.parse(argc - 2, argv + 2);
+    if (command == "table1") return cmd_table1();
+    if (command == "predict") return cmd_predict(flags);
+    if (command == "experiment") return cmd_experiment(flags);
+    if (command == "campaign") return cmd_campaign(flags);
+    std::fprintf(stderr, "unknown command: %s\n%s", command.c_str(),
+                 flags.usage("gridlb <command>").c_str());
+    return 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
