@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_advertisement.dir/ablation_advertisement.cpp.o"
+  "CMakeFiles/ablation_advertisement.dir/ablation_advertisement.cpp.o.d"
+  "ablation_advertisement"
+  "ablation_advertisement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_advertisement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

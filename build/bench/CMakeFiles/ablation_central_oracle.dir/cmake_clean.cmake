@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_central_oracle.dir/ablation_central_oracle.cpp.o"
+  "CMakeFiles/ablation_central_oracle.dir/ablation_central_oracle.cpp.o.d"
+  "ablation_central_oracle"
+  "ablation_central_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_central_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

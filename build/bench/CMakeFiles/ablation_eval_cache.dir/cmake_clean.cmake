@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_eval_cache.dir/ablation_eval_cache.cpp.o"
+  "CMakeFiles/ablation_eval_cache.dir/ablation_eval_cache.cpp.o.d"
+  "ablation_eval_cache"
+  "ablation_eval_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_eval_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

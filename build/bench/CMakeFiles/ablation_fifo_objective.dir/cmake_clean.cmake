@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fifo_objective.dir/ablation_fifo_objective.cpp.o"
+  "CMakeFiles/ablation_fifo_objective.dir/ablation_fifo_objective.cpp.o.d"
+  "ablation_fifo_objective"
+  "ablation_fifo_objective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fifo_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ga_params.dir/ablation_ga_params.cpp.o"
+  "CMakeFiles/ablation_ga_params.dir/ablation_ga_params.cpp.o.d"
+  "ablation_ga_params"
+  "ablation_ga_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ga_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

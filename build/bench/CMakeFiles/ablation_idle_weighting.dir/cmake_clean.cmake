@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_idle_weighting.dir/ablation_idle_weighting.cpp.o"
+  "CMakeFiles/ablation_idle_weighting.dir/ablation_idle_weighting.cpp.o.d"
+  "ablation_idle_weighting"
+  "ablation_idle_weighting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_idle_weighting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_node_churn.dir/ablation_node_churn.cpp.o"
+  "CMakeFiles/ablation_node_churn.dir/ablation_node_churn.cpp.o.d"
+  "ablation_node_churn"
+  "ablation_node_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_node_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

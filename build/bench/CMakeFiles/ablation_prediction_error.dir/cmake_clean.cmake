@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prediction_error.dir/ablation_prediction_error.cpp.o"
+  "CMakeFiles/ablation_prediction_error.dir/ablation_prediction_error.cpp.o.d"
+  "ablation_prediction_error"
+  "ablation_prediction_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prediction_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_load_balance.dir/fig10_load_balance.cpp.o"
+  "CMakeFiles/fig10_load_balance.dir/fig10_load_balance.cpp.o.d"
+  "fig10_load_balance"
+  "fig10_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_utilisation.dir/fig9_utilisation.cpp.o"
+  "CMakeFiles/fig9_utilisation.dir/fig9_utilisation.cpp.o.d"
+  "fig9_utilisation"
+  "fig9_utilisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_utilisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

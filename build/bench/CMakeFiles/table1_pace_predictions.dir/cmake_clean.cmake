@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_pace_predictions.dir/table1_pace_predictions.cpp.o"
+  "CMakeFiles/table1_pace_predictions.dir/table1_pace_predictions.cpp.o.d"
+  "table1_pace_predictions"
+  "table1_pace_predictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_pace_predictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

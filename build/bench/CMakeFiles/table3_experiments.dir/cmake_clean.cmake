@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_experiments.dir/table3_experiments.cpp.o"
+  "CMakeFiles/table3_experiments.dir/table3_experiments.cpp.o.d"
+  "table3_experiments"
+  "table3_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

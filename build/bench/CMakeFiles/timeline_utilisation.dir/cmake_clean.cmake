@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_utilisation.dir/timeline_utilisation.cpp.o"
+  "CMakeFiles/timeline_utilisation.dir/timeline_utilisation.cpp.o.d"
+  "timeline_utilisation"
+  "timeline_utilisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_utilisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

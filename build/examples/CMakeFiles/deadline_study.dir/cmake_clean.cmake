@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_study.dir/deadline_study.cpp.o"
+  "CMakeFiles/deadline_study.dir/deadline_study.cpp.o.d"
+  "deadline_study"
+  "deadline_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

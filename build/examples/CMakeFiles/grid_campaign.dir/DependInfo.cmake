@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/grid_campaign.cpp" "examples/CMakeFiles/grid_campaign.dir/grid_campaign.cpp.o" "gcc" "examples/CMakeFiles/grid_campaign.dir/grid_campaign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/gridlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/gridlb_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gridlb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gridlb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/gridlb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pace/CMakeFiles/gridlb_pace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gridlb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_campaign.dir/grid_campaign.cpp.o"
+  "CMakeFiles/grid_campaign.dir/grid_campaign.cpp.o.d"
+  "grid_campaign"
+  "grid_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

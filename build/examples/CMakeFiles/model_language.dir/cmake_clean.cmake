@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_language.dir/model_language.cpp.o"
+  "CMakeFiles/model_language.dir/model_language.cpp.o.d"
+  "model_language"
+  "model_language.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_language.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

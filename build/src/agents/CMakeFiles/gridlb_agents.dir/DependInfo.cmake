@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agents/act.cpp" "src/agents/CMakeFiles/gridlb_agents.dir/act.cpp.o" "gcc" "src/agents/CMakeFiles/gridlb_agents.dir/act.cpp.o.d"
+  "/root/repo/src/agents/agent.cpp" "src/agents/CMakeFiles/gridlb_agents.dir/agent.cpp.o" "gcc" "src/agents/CMakeFiles/gridlb_agents.dir/agent.cpp.o.d"
+  "/root/repo/src/agents/agent_system.cpp" "src/agents/CMakeFiles/gridlb_agents.dir/agent_system.cpp.o" "gcc" "src/agents/CMakeFiles/gridlb_agents.dir/agent_system.cpp.o.d"
+  "/root/repo/src/agents/portal.cpp" "src/agents/CMakeFiles/gridlb_agents.dir/portal.cpp.o" "gcc" "src/agents/CMakeFiles/gridlb_agents.dir/portal.cpp.o.d"
+  "/root/repo/src/agents/request.cpp" "src/agents/CMakeFiles/gridlb_agents.dir/request.cpp.o" "gcc" "src/agents/CMakeFiles/gridlb_agents.dir/request.cpp.o.d"
+  "/root/repo/src/agents/result.cpp" "src/agents/CMakeFiles/gridlb_agents.dir/result.cpp.o" "gcc" "src/agents/CMakeFiles/gridlb_agents.dir/result.cpp.o.d"
+  "/root/repo/src/agents/service_info.cpp" "src/agents/CMakeFiles/gridlb_agents.dir/service_info.cpp.o" "gcc" "src/agents/CMakeFiles/gridlb_agents.dir/service_info.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridlb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gridlb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pace/CMakeFiles/gridlb_pace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/gridlb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gridlb_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridlb_agents.dir/act.cpp.o"
+  "CMakeFiles/gridlb_agents.dir/act.cpp.o.d"
+  "CMakeFiles/gridlb_agents.dir/agent.cpp.o"
+  "CMakeFiles/gridlb_agents.dir/agent.cpp.o.d"
+  "CMakeFiles/gridlb_agents.dir/agent_system.cpp.o"
+  "CMakeFiles/gridlb_agents.dir/agent_system.cpp.o.d"
+  "CMakeFiles/gridlb_agents.dir/portal.cpp.o"
+  "CMakeFiles/gridlb_agents.dir/portal.cpp.o.d"
+  "CMakeFiles/gridlb_agents.dir/request.cpp.o"
+  "CMakeFiles/gridlb_agents.dir/request.cpp.o.d"
+  "CMakeFiles/gridlb_agents.dir/result.cpp.o"
+  "CMakeFiles/gridlb_agents.dir/result.cpp.o.d"
+  "CMakeFiles/gridlb_agents.dir/service_info.cpp.o"
+  "CMakeFiles/gridlb_agents.dir/service_info.cpp.o.d"
+  "libgridlb_agents.a"
+  "libgridlb_agents.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridlb_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridlb_common.dir/flags.cpp.o"
+  "CMakeFiles/gridlb_common.dir/flags.cpp.o.d"
+  "CMakeFiles/gridlb_common.dir/log.cpp.o"
+  "CMakeFiles/gridlb_common.dir/log.cpp.o.d"
+  "CMakeFiles/gridlb_common.dir/rng.cpp.o"
+  "CMakeFiles/gridlb_common.dir/rng.cpp.o.d"
+  "libgridlb_common.a"
+  "libgridlb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridlb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridlb_core.dir/case_study.cpp.o"
+  "CMakeFiles/gridlb_core.dir/case_study.cpp.o.d"
+  "CMakeFiles/gridlb_core.dir/experiment.cpp.o"
+  "CMakeFiles/gridlb_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/gridlb_core.dir/workload.cpp.o"
+  "CMakeFiles/gridlb_core.dir/workload.cpp.o.d"
+  "libgridlb_core.a"
+  "libgridlb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridlb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/metrics.cpp" "src/metrics/CMakeFiles/gridlb_metrics.dir/metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/gridlb_metrics.dir/metrics.cpp.o.d"
+  "/root/repo/src/metrics/time_series.cpp" "src/metrics/CMakeFiles/gridlb_metrics.dir/time_series.cpp.o" "gcc" "src/metrics/CMakeFiles/gridlb_metrics.dir/time_series.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridlb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/gridlb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/pace/CMakeFiles/gridlb_pace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridlb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridlb_metrics.dir/metrics.cpp.o"
+  "CMakeFiles/gridlb_metrics.dir/metrics.cpp.o.d"
+  "CMakeFiles/gridlb_metrics.dir/time_series.cpp.o"
+  "CMakeFiles/gridlb_metrics.dir/time_series.cpp.o.d"
+  "libgridlb_metrics.a"
+  "libgridlb_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridlb_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pace/application_model.cpp" "src/pace/CMakeFiles/gridlb_pace.dir/application_model.cpp.o" "gcc" "src/pace/CMakeFiles/gridlb_pace.dir/application_model.cpp.o.d"
+  "/root/repo/src/pace/evaluation_engine.cpp" "src/pace/CMakeFiles/gridlb_pace.dir/evaluation_engine.cpp.o" "gcc" "src/pace/CMakeFiles/gridlb_pace.dir/evaluation_engine.cpp.o.d"
+  "/root/repo/src/pace/hardware.cpp" "src/pace/CMakeFiles/gridlb_pace.dir/hardware.cpp.o" "gcc" "src/pace/CMakeFiles/gridlb_pace.dir/hardware.cpp.o.d"
+  "/root/repo/src/pace/model_parser.cpp" "src/pace/CMakeFiles/gridlb_pace.dir/model_parser.cpp.o" "gcc" "src/pace/CMakeFiles/gridlb_pace.dir/model_parser.cpp.o.d"
+  "/root/repo/src/pace/paper_applications.cpp" "src/pace/CMakeFiles/gridlb_pace.dir/paper_applications.cpp.o" "gcc" "src/pace/CMakeFiles/gridlb_pace.dir/paper_applications.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridlb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

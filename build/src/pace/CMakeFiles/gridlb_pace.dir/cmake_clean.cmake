@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridlb_pace.dir/application_model.cpp.o"
+  "CMakeFiles/gridlb_pace.dir/application_model.cpp.o.d"
+  "CMakeFiles/gridlb_pace.dir/evaluation_engine.cpp.o"
+  "CMakeFiles/gridlb_pace.dir/evaluation_engine.cpp.o.d"
+  "CMakeFiles/gridlb_pace.dir/hardware.cpp.o"
+  "CMakeFiles/gridlb_pace.dir/hardware.cpp.o.d"
+  "CMakeFiles/gridlb_pace.dir/model_parser.cpp.o"
+  "CMakeFiles/gridlb_pace.dir/model_parser.cpp.o.d"
+  "CMakeFiles/gridlb_pace.dir/paper_applications.cpp.o"
+  "CMakeFiles/gridlb_pace.dir/paper_applications.cpp.o.d"
+  "libgridlb_pace.a"
+  "libgridlb_pace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridlb_pace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

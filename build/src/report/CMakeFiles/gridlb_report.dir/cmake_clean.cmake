@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridlb_report.dir/csv.cpp.o"
+  "CMakeFiles/gridlb_report.dir/csv.cpp.o.d"
+  "CMakeFiles/gridlb_report.dir/gantt.cpp.o"
+  "CMakeFiles/gridlb_report.dir/gantt.cpp.o.d"
+  "libgridlb_report.a"
+  "libgridlb_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridlb_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/cost.cpp" "src/sched/CMakeFiles/gridlb_sched.dir/cost.cpp.o" "gcc" "src/sched/CMakeFiles/gridlb_sched.dir/cost.cpp.o.d"
+  "/root/repo/src/sched/fifo_scheduler.cpp" "src/sched/CMakeFiles/gridlb_sched.dir/fifo_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/gridlb_sched.dir/fifo_scheduler.cpp.o.d"
+  "/root/repo/src/sched/ga_scheduler.cpp" "src/sched/CMakeFiles/gridlb_sched.dir/ga_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/gridlb_sched.dir/ga_scheduler.cpp.o.d"
+  "/root/repo/src/sched/local_scheduler.cpp" "src/sched/CMakeFiles/gridlb_sched.dir/local_scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/gridlb_sched.dir/local_scheduler.cpp.o.d"
+  "/root/repo/src/sched/resource_monitor.cpp" "src/sched/CMakeFiles/gridlb_sched.dir/resource_monitor.cpp.o" "gcc" "src/sched/CMakeFiles/gridlb_sched.dir/resource_monitor.cpp.o.d"
+  "/root/repo/src/sched/schedule_builder.cpp" "src/sched/CMakeFiles/gridlb_sched.dir/schedule_builder.cpp.o" "gcc" "src/sched/CMakeFiles/gridlb_sched.dir/schedule_builder.cpp.o.d"
+  "/root/repo/src/sched/solution.cpp" "src/sched/CMakeFiles/gridlb_sched.dir/solution.cpp.o" "gcc" "src/sched/CMakeFiles/gridlb_sched.dir/solution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gridlb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pace/CMakeFiles/gridlb_pace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridlb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

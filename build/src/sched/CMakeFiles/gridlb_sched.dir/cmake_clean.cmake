@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridlb_sched.dir/cost.cpp.o"
+  "CMakeFiles/gridlb_sched.dir/cost.cpp.o.d"
+  "CMakeFiles/gridlb_sched.dir/fifo_scheduler.cpp.o"
+  "CMakeFiles/gridlb_sched.dir/fifo_scheduler.cpp.o.d"
+  "CMakeFiles/gridlb_sched.dir/ga_scheduler.cpp.o"
+  "CMakeFiles/gridlb_sched.dir/ga_scheduler.cpp.o.d"
+  "CMakeFiles/gridlb_sched.dir/local_scheduler.cpp.o"
+  "CMakeFiles/gridlb_sched.dir/local_scheduler.cpp.o.d"
+  "CMakeFiles/gridlb_sched.dir/resource_monitor.cpp.o"
+  "CMakeFiles/gridlb_sched.dir/resource_monitor.cpp.o.d"
+  "CMakeFiles/gridlb_sched.dir/schedule_builder.cpp.o"
+  "CMakeFiles/gridlb_sched.dir/schedule_builder.cpp.o.d"
+  "CMakeFiles/gridlb_sched.dir/solution.cpp.o"
+  "CMakeFiles/gridlb_sched.dir/solution.cpp.o.d"
+  "libgridlb_sched.a"
+  "libgridlb_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridlb_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgridlb_sched.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridlb_sim.dir/engine.cpp.o"
+  "CMakeFiles/gridlb_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/gridlb_sim.dir/network.cpp.o"
+  "CMakeFiles/gridlb_sim.dir/network.cpp.o.d"
+  "libgridlb_sim.a"
+  "libgridlb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridlb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

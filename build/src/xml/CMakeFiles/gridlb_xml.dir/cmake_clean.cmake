@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridlb_xml.dir/xml.cpp.o"
+  "CMakeFiles/gridlb_xml.dir/xml.cpp.o.d"
+  "libgridlb_xml.a"
+  "libgridlb_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridlb_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

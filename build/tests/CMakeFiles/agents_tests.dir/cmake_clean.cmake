@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agents_tests.dir/agents/act_test.cpp.o"
+  "CMakeFiles/agents_tests.dir/agents/act_test.cpp.o.d"
+  "CMakeFiles/agents_tests.dir/agents/agent_system_test.cpp.o"
+  "CMakeFiles/agents_tests.dir/agents/agent_system_test.cpp.o.d"
+  "CMakeFiles/agents_tests.dir/agents/agent_test.cpp.o"
+  "CMakeFiles/agents_tests.dir/agents/agent_test.cpp.o.d"
+  "CMakeFiles/agents_tests.dir/agents/golden_documents_test.cpp.o"
+  "CMakeFiles/agents_tests.dir/agents/golden_documents_test.cpp.o.d"
+  "CMakeFiles/agents_tests.dir/agents/request_test.cpp.o"
+  "CMakeFiles/agents_tests.dir/agents/request_test.cpp.o.d"
+  "CMakeFiles/agents_tests.dir/agents/result_test.cpp.o"
+  "CMakeFiles/agents_tests.dir/agents/result_test.cpp.o.d"
+  "CMakeFiles/agents_tests.dir/agents/service_info_test.cpp.o"
+  "CMakeFiles/agents_tests.dir/agents/service_info_test.cpp.o.d"
+  "CMakeFiles/agents_tests.dir/agents/transitive_test.cpp.o"
+  "CMakeFiles/agents_tests.dir/agents/transitive_test.cpp.o.d"
+  "agents_tests"
+  "agents_tests.pdb"
+  "agents_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agents_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

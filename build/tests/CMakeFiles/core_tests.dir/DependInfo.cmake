@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/case_study_test.cpp" "tests/CMakeFiles/core_tests.dir/core/case_study_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/case_study_test.cpp.o.d"
+  "/root/repo/tests/core/experiment_test.cpp" "tests/CMakeFiles/core_tests.dir/core/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/experiment_test.cpp.o.d"
+  "/root/repo/tests/core/system_invariants_test.cpp" "tests/CMakeFiles/core_tests.dir/core/system_invariants_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/system_invariants_test.cpp.o.d"
+  "/root/repo/tests/core/workload_test.cpp" "tests/CMakeFiles/core_tests.dir/core/workload_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/workload_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/gridlb_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gridlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/gridlb_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gridlb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/gridlb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/pace/CMakeFiles/gridlb_pace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gridlb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gridlb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

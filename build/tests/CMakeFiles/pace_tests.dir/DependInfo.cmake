@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pace/application_model_test.cpp" "tests/CMakeFiles/pace_tests.dir/pace/application_model_test.cpp.o" "gcc" "tests/CMakeFiles/pace_tests.dir/pace/application_model_test.cpp.o.d"
+  "/root/repo/tests/pace/evaluation_engine_test.cpp" "tests/CMakeFiles/pace_tests.dir/pace/evaluation_engine_test.cpp.o" "gcc" "tests/CMakeFiles/pace_tests.dir/pace/evaluation_engine_test.cpp.o.d"
+  "/root/repo/tests/pace/hardware_test.cpp" "tests/CMakeFiles/pace_tests.dir/pace/hardware_test.cpp.o" "gcc" "tests/CMakeFiles/pace_tests.dir/pace/hardware_test.cpp.o.d"
+  "/root/repo/tests/pace/model_parser_test.cpp" "tests/CMakeFiles/pace_tests.dir/pace/model_parser_test.cpp.o" "gcc" "tests/CMakeFiles/pace_tests.dir/pace/model_parser_test.cpp.o.d"
+  "/root/repo/tests/pace/paper_applications_test.cpp" "tests/CMakeFiles/pace_tests.dir/pace/paper_applications_test.cpp.o" "gcc" "tests/CMakeFiles/pace_tests.dir/pace/paper_applications_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/report/CMakeFiles/gridlb_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/gridlb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/agents/CMakeFiles/gridlb_agents.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/gridlb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/gridlb_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/pace/CMakeFiles/gridlb_pace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/gridlb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/gridlb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gridlb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pace_tests.dir/pace/application_model_test.cpp.o"
+  "CMakeFiles/pace_tests.dir/pace/application_model_test.cpp.o.d"
+  "CMakeFiles/pace_tests.dir/pace/evaluation_engine_test.cpp.o"
+  "CMakeFiles/pace_tests.dir/pace/evaluation_engine_test.cpp.o.d"
+  "CMakeFiles/pace_tests.dir/pace/hardware_test.cpp.o"
+  "CMakeFiles/pace_tests.dir/pace/hardware_test.cpp.o.d"
+  "CMakeFiles/pace_tests.dir/pace/model_parser_test.cpp.o"
+  "CMakeFiles/pace_tests.dir/pace/model_parser_test.cpp.o.d"
+  "CMakeFiles/pace_tests.dir/pace/paper_applications_test.cpp.o"
+  "CMakeFiles/pace_tests.dir/pace/paper_applications_test.cpp.o.d"
+  "pace_tests"
+  "pace_tests.pdb"
+  "pace_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pace_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

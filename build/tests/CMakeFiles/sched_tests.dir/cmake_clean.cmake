@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_tests.dir/sched/availability_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/availability_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/cost_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/cost_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/fifo_scheduler_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/fifo_scheduler_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/ga_scheduler_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/ga_scheduler_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/local_scheduler_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/local_scheduler_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/queue_stats_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/queue_stats_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/resource_monitor_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/resource_monitor_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/schedule_builder_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/schedule_builder_test.cpp.o.d"
+  "CMakeFiles/sched_tests.dir/sched/solution_test.cpp.o"
+  "CMakeFiles/sched_tests.dir/sched/solution_test.cpp.o.d"
+  "sched_tests"
+  "sched_tests.pdb"
+  "sched_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

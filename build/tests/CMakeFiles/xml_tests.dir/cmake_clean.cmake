@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_tests.dir/xml/xml_property_test.cpp.o"
+  "CMakeFiles/xml_tests.dir/xml/xml_property_test.cpp.o.d"
+  "CMakeFiles/xml_tests.dir/xml/xml_test.cpp.o"
+  "CMakeFiles/xml_tests.dir/xml/xml_test.cpp.o.d"
+  "xml_tests"
+  "xml_tests.pdb"
+  "xml_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

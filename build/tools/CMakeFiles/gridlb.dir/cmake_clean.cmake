@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridlb.dir/gridlb_cli.cpp.o"
+  "CMakeFiles/gridlb.dir/gridlb_cli.cpp.o.d"
+  "gridlb"
+  "gridlb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridlb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
