@@ -1,0 +1,113 @@
+// Serial-vs-parallel GA evaluation throughput (google-benchmark).
+//
+// The GA spends nearly all of its time in the evaluate phase — decode +
+// cost for every individual, every generation.  These benches measure that
+// phase's decode throughput on the paper's 16-node resource workload at
+// 1/2/4/8 evaluate threads, both as a raw parallel decode sweep over a
+// population (BM_PopulationDecode) and end-to-end through
+// GaScheduler::optimize (BM_GaOptimize).  items_per_second is decodes/s;
+// the ratio of the 4-thread row to the 1-thread row is the speedup
+// reported in BENCH_*.json.  Both benches use real (wall-clock) time —
+// thread-CPU time under-reports a parallel region.  (On a single-core
+// host all rows converge — eval_threads=1 takes the exact serial code
+// path, so the comparison there is a measure of pool overhead.)
+
+#include <benchmark/benchmark.h>
+
+#include "common/thread_pool.hpp"
+#include "core/gridlb.hpp"
+
+namespace {
+
+using namespace gridlb;
+
+// The paper's local-scheduler workload: a 16-node SGI Origin2000 and a
+// pending queue drawn from the Table 1 application mix.
+std::vector<sched::Task> make_tasks(int count) {
+  static const pace::ApplicationCatalogue catalogue = pace::paper_catalogue();
+  Rng rng(2003);
+  std::vector<sched::Task> tasks;
+  for (int i = 0; i < count; ++i) {
+    sched::Task task;
+    task.id = TaskId(static_cast<std::uint64_t>(i));
+    task.app = catalogue.all()[static_cast<std::size_t>(
+        rng.next_below(catalogue.size()))];
+    const auto domain = task.app->deadline_domain();
+    task.deadline = rng.uniform(domain.lo, domain.hi);
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+// Decode throughput of one population sweep at `threads` workers — the
+// GA's evaluate phase in isolation, with the shared (sharded) cache warm
+// after the first iteration, exactly as in steady-state GA generations.
+void BM_PopulationDecode(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  constexpr int kPopulation = 50;
+  constexpr int kTasks = 20;
+
+  pace::EvaluationEngine engine;
+  pace::CachedEvaluator cache(engine);
+  const auto sgi = pace::ResourceModel::of(pace::HardwareType::kSgiOrigin2000);
+  sched::ScheduleBuilder builder(cache, sgi, 16);
+  const auto tasks = make_tasks(kTasks);
+  const std::vector<SimTime> idle(16, 0.0);
+
+  Rng rng(7);
+  std::vector<sched::SolutionString> population;
+  for (int k = 0; k < kPopulation; ++k) {
+    population.push_back(sched::SolutionString::random(kTasks, 16, rng));
+  }
+
+  ThreadPool pool(threads);
+  std::vector<double> costs(population.size());
+  const sched::CostWeights weights;
+  for (auto _ : state) {
+    pool.parallel_for(
+        static_cast<int>(population.size()), [&](int begin, int end, int) {
+          for (int k = begin; k < end; ++k) {
+            const auto decoded = builder.decode(
+                tasks, population[static_cast<std::size_t>(k)], idle, 0.0);
+            costs[static_cast<std::size_t>(k)] = cost_value(decoded, weights);
+          }
+        });
+    benchmark::DoNotOptimize(costs.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kPopulation);
+}
+BENCHMARK(BM_PopulationDecode)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMicrosecond);
+
+// End-to-end optimize() at the paper's settings with eval_threads set;
+// selection/crossover/mutation stay serial, so this shows the net effect
+// on a whole GA invocation (Amdahl included).
+void BM_GaOptimize(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+
+  pace::EvaluationEngine engine;
+  pace::CachedEvaluator cache(engine);
+  const auto sgi = pace::ResourceModel::of(pace::HardwareType::kSgiOrigin2000);
+  sched::ScheduleBuilder builder(cache, sgi, 16);
+  const auto tasks = make_tasks(20);
+  const std::vector<SimTime> idle(16, 0.0);
+
+  sched::GaConfig config;
+  config.generations = 10;
+  config.eval_threads = threads;
+  sched::GaScheduler scheduler(builder, config, 11);
+
+  std::uint64_t decodes = 0;
+  for (auto _ : state) {
+    const auto result = scheduler.optimize(tasks, idle, 0.0);
+    decodes += result.decodes;
+    benchmark::DoNotOptimize(result.best_cost);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(decodes));
+}
+BENCHMARK(BM_GaOptimize)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace gridlb {
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  GRIDLB_REQUIRE(threads >= 1, "thread pool needs at least one thread");
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int slot = 1; slot < threads; ++slot) {
+    workers_.emplace_back([this, slot] { worker_loop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return std::max(1, static_cast<int>(n));
+}
+
+void ThreadPool::run_chunk(int count, int slot) {
+  // Static chunking: slot s covers [count·s/S, count·(s+1)/S).  Ranges are
+  // contiguous, cover [0, count) exactly, and differ in size by at most 1.
+  const int begin = static_cast<int>(
+      static_cast<long long>(count) * slot / threads_);
+  const int end = static_cast<int>(
+      static_cast<long long>(count) * (slot + 1) / threads_);
+  if (begin >= end) return;
+  try {
+    (*job_)(begin, end, slot);
+  } catch (...) {
+    const std::lock_guard lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::worker_loop(int slot) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    int count;
+    {
+      std::unique_lock lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      count = count_;
+    }
+    run_chunk(count, slot);
+    {
+      const std::lock_guard lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(int count, const ChunkFn& fn) {
+  if (count <= 0) return;
+  if (workers_.empty()) {
+    // Single-threaded pool: the exact serial code path.
+    fn(0, count, 0);
+    return;
+  }
+  {
+    const std::lock_guard lock(mutex_);
+    job_ = &fn;
+    count_ = count;
+    pending_ = static_cast<int>(workers_.size());
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  run_chunk(count, 0);  // the caller takes slot 0
+  std::exception_ptr error;
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    error = first_error_;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace gridlb

@@ -10,7 +10,7 @@ double EvaluationEngine::evaluate(const ApplicationModel& app,
                                   const ResourceModel& resource, int nproc) {
   GRIDLB_REQUIRE(nproc >= 1, "processor count must be >= 1");
   GRIDLB_REQUIRE(resource.factor > 0.0, "resource factor must be positive");
-  ++evaluations_;
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
   return app.reference_time(nproc) * resource.factor;
 }
 
@@ -28,16 +28,49 @@ std::size_t CachedEvaluator::KeyHash::operator()(const Key& key) const {
 double CachedEvaluator::evaluate(const ApplicationModel& app,
                                  const ResourceModel& resource, int nproc) {
   const Key key{&app, resource.type, resource.factor, nproc};
-  if (const auto it = cache_.find(key); it != cache_.end()) {
-    ++stats_.hits;
-    return it->second;
+  const std::size_t hash = KeyHash{}(key);
+  Shard& shard = shards_[hash % kShardCount];
+  {
+    const std::lock_guard lock(shard.mutex);
+    if (const auto it = shard.map.find(key); it != shard.map.end()) {
+      ++shard.stats.hits;
+      return it->second;
+    }
+    ++shard.stats.misses;
   }
-  ++stats_.misses;
+  // Compute outside the lock so one slow miss never serialises its whole
+  // shard; a concurrent miss on the same key computes the same value and
+  // the losing emplace is a no-op.
   const double value = engine_->evaluate(app, resource, nproc);
-  cache_.emplace(key, value);
+  const std::lock_guard lock(shard.mutex);
+  shard.map.emplace(key, value);
   return value;
 }
 
-void CachedEvaluator::clear() { cache_.clear(); }
+CacheStats CachedEvaluator::stats() const {
+  CacheStats total;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+  }
+  return total;
+}
+
+std::size_t CachedEvaluator::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void CachedEvaluator::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    shard.map.clear();
+  }
+}
 
 }  // namespace gridlb::pace

@@ -9,12 +9,21 @@
 // reproduces that layer and exposes hit statistics for the cache ablation
 // bench.
 //
-// An optional simulated evaluation cost models the paper's observation
-// that raw evaluations take "a few tenths of a second"; the ablation bench
-// uses it to reproduce the cache's motivating arithmetic.
+// Both layers are safe for concurrent use: the GA's evaluate phase decodes
+// individuals from a thread pool, so every decode's prediction lookups may
+// race.  The engine's evaluation counter is atomic, and the cache is
+// sharded — each shard is an independent mutex-protected map, with the
+// shard chosen by the key hash — so lookups on distinct keys mostly take
+// distinct locks.  Concurrent misses on the same key may each invoke the
+// engine (the value is a pure function of the key, so every computation
+// agrees), which can make miss counts exceed the number of distinct keys
+// by a handful under contention; hits + misses always equals lookups.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 
 #include "pace/application_model.hpp"
@@ -23,6 +32,7 @@
 namespace gridlb::pace {
 
 /// Stateless model-combination engine (plus an evaluation counter).
+/// Thread-safe: the models are immutable and the counter is atomic.
 class EvaluationEngine {
  public:
   /// Predicted execution time of `app` on `nproc` nodes of `resource`.
@@ -30,13 +40,16 @@ class EvaluationEngine {
   double evaluate(const ApplicationModel& app, const ResourceModel& resource,
                   int nproc);
 
-  [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }
+  [[nodiscard]] std::uint64_t evaluations() const {
+    return evaluations_.load(std::memory_order_relaxed);
+  }
 
  private:
-  std::uint64_t evaluations_ = 0;
+  std::atomic<std::uint64_t> evaluations_{0};
 };
 
-/// Statistics for one cache instance.
+/// Statistics for one cache instance (a point-in-time snapshot when
+/// obtained from CachedEvaluator::stats()).
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -54,6 +67,9 @@ struct CacheStats {
 /// application key is the model's address: models are immutable and shared
 /// via ApplicationModelPtr for their whole lifetime, so the address is a
 /// stable identity within a run.
+///
+/// Safe for concurrent `evaluate` calls from any number of threads (see
+/// the file comment for the sharding scheme and its stats caveats).
 class CachedEvaluator {
  public:
   explicit CachedEvaluator(EvaluationEngine& engine) : engine_(&engine) {}
@@ -61,9 +77,13 @@ class CachedEvaluator {
   double evaluate(const ApplicationModel& app, const ResourceModel& resource,
                   int nproc);
 
-  [[nodiscard]] const CacheStats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t size() const { return cache_.size(); }
+  /// Aggregated snapshot over all shards.
+  [[nodiscard]] CacheStats stats() const;
+  /// Cached entries across all shards.
+  [[nodiscard]] std::size_t size() const;
   void clear();
+
+  static constexpr std::size_t kShardCount = 16;
 
  private:
   struct Key {
@@ -76,10 +96,14 @@ class CachedEvaluator {
   struct KeyHash {
     std::size_t operator()(const Key& key) const;
   };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<Key, double, KeyHash> map;
+    CacheStats stats;  ///< guarded by `mutex`
+  };
 
   EvaluationEngine* engine_;
-  std::unordered_map<Key, double, KeyHash> cache_;
-  CacheStats stats_;
+  std::array<Shard, kShardCount> shards_;
 };
 
 }  // namespace gridlb::pace

@@ -19,6 +19,14 @@ GaScheduler::GaScheduler(ScheduleBuilder& builder, GaConfig config,
                  "elite count must be < population size");
   GRIDLB_REQUIRE(config_.crossover_rate >= 0.0 && config_.crossover_rate <= 1.0,
                  "crossover rate must be in [0,1]");
+  GRIDLB_REQUIRE(config_.eval_threads >= 0,
+                 "eval_threads must be >= 0 (0 = hardware concurrency)");
+  const int threads = config_.eval_threads == 0
+                          ? ThreadPool::hardware_threads()
+                          : config_.eval_threads;
+  // Never spin up more chunks than the population can fill.
+  const int useful = std::min(threads, config_.population_size);
+  if (useful > 1) pool_ = std::make_unique<ThreadPool>(useful);
 }
 
 void GaScheduler::sync_population(std::span<const Task> tasks) {
@@ -213,16 +221,34 @@ GaResult GaScheduler::optimize(std::span<const Task> tasks,
   std::vector<double> costs(static_cast<std::size_t>(n));
   std::vector<DecodedSchedule> decoded(static_cast<std::size_t>(n));
 
-  bool have_best = false;
-  for (int generation = 0; generation < config_.generations; ++generation) {
-    // Evaluate.
-    for (int k = 0; k < n; ++k) {
+  // Per-slot decode counters: chunks accumulate into their own slot and
+  // the main thread reduces after the join, so the count (and everything
+  // else in GaResult) is independent of thread scheduling.
+  std::vector<std::uint64_t> decode_slots(
+      static_cast<std::size_t>(pool_ ? pool_->size() : 1));
+  const auto evaluate_chunk = [&](int begin, int end, int slot) {
+    for (int k = begin; k < end; ++k) {
       decoded[static_cast<std::size_t>(k)] =
           builder_->decode(tasks, population_[static_cast<std::size_t>(k)],
                            node_free, now, available);
       costs[static_cast<std::size_t>(k)] =
           cost_value(decoded[static_cast<std::size_t>(k)], config_.weights);
-      ++result.decodes;
+      ++decode_slots[static_cast<std::size_t>(slot)];
+    }
+  };
+
+  bool have_best = false;
+  for (int generation = 0; generation < config_.generations; ++generation) {
+    // Evaluate.  Only this phase runs on the pool: each individual's
+    // decode and cost are pure (the evaluation cache is thread-safe and
+    // memoises a pure function), so the contents of `decoded` and `costs`
+    // do not depend on the interleaving.  Selection, crossover and
+    // mutation below stay on this thread and consume `rng_` in the
+    // serial order.
+    if (pool_) {
+      pool_->parallel_for(n, evaluate_chunk);
+    } else {
+      evaluate_chunk(0, n, 0);
     }
     // Track the best-ever individual.
     const auto best_it = std::min_element(costs.begin(), costs.end());
@@ -276,6 +302,9 @@ GaResult GaScheduler::optimize(std::span<const Task> tasks,
     population_ = std::move(next);
   }
 
+  for (const std::uint64_t slot_decodes : decode_slots) {
+    result.decodes += slot_decodes;
+  }
   total_decodes_ += result.decodes;
   // Keep the best individual alive for the next invocation's warm start.
   population_.front() = result.best;

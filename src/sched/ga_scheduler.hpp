@@ -11,9 +11,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "sched/cost.hpp"
 #include "sched/schedule_builder.hpp"
 
@@ -32,6 +34,11 @@ struct GaConfig {
   /// exactly the FIFO baseline's schedule, so an elitist GA can never plan
   /// worse than FIFO.
   bool seed_heuristic = true;
+  /// Threads for the evaluate phase (decode + cost of every individual).
+  /// 0 = hardware concurrency; 1 = the exact serial code path (no pool).
+  /// Results are bit-for-bit identical for every value — see DESIGN.md's
+  /// determinism contract.
+  int eval_threads = 0;
   CostWeights weights;
 };
 
@@ -62,6 +69,11 @@ class GaScheduler {
 
   [[nodiscard]] const GaConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t total_decodes() const { return total_decodes_; }
+  /// Resolved evaluate-phase thread count (config value, with 0 expanded
+  /// to the hardware concurrency).
+  [[nodiscard]] int eval_threads() const {
+    return pool_ ? pool_->size() : 1;
+  }
 
  private:
   /// Aligns the persistent population with the new task set (matching by
@@ -91,6 +103,8 @@ class GaScheduler {
 
   ScheduleBuilder* builder_;
   GaConfig config_;
+  /// Workers for the evaluate phase; null when it resolves to one thread.
+  std::unique_ptr<ThreadPool> pool_;
   Rng rng_;
   std::vector<SolutionString> population_;
   std::vector<TaskId> known_tasks_;  ///< task index -> id at last invocation

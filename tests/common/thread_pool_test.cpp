@@ -1,0 +1,129 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace gridlb {
+namespace {
+
+TEST(ThreadPoolTest, RejectsNonPositiveSize) {
+  EXPECT_THROW(ThreadPool(0), AssertionError);
+  EXPECT_THROW(ThreadPool(-3), AssertionError);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsIsPositive) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  const auto caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.parallel_for(10, [&](int begin, int end, int slot) {
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 10);
+    EXPECT_EQ(slot, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, ChunksPartitionTheRangeExactly) {
+  for (const int threads : {1, 2, 3, 4, 7}) {
+    ThreadPool pool(threads);
+    for (const int count : {0, 1, 2, 5, 16, 100}) {
+      std::vector<std::atomic<int>> visits(static_cast<std::size_t>(count));
+      std::atomic<int> slot_mask{0};
+      pool.parallel_for(count, [&](int begin, int end, int slot) {
+        EXPECT_LT(begin, end);
+        EXPECT_GE(slot, 0);
+        EXPECT_LT(slot, threads);
+        slot_mask.fetch_or(1 << slot);
+        for (int i = begin; i < end; ++i) {
+          ++visits[static_cast<std::size_t>(i)];
+        }
+      });
+      for (int i = 0; i < count; ++i) {
+        EXPECT_EQ(visits[static_cast<std::size_t>(i)].load(), 1)
+            << "threads=" << threads << " count=" << count << " i=" << i;
+      }
+      if (count >= threads) {
+        // Every slot receives a non-empty chunk once there is enough work.
+        EXPECT_EQ(slot_mask.load(), (1 << threads) - 1);
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, [](int, int, int) { FAIL() << "must not be called"; });
+  pool.parallel_for(-5, [](int, int, int) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyDispatches) {
+  ThreadPool pool(4);
+  std::vector<std::uint64_t> data(1000);
+  std::iota(data.begin(), data.end(), 0);
+  const std::uint64_t expected =
+      std::accumulate(data.begin(), data.end(), std::uint64_t{0});
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint64_t> partial(static_cast<std::size_t>(pool.size()));
+    pool.parallel_for(
+        static_cast<int>(data.size()), [&](int begin, int end, int slot) {
+          for (int i = begin; i < end; ++i) {
+            partial[static_cast<std::size_t>(slot)] +=
+                data[static_cast<std::size_t>(i)];
+          }
+        });
+    const std::uint64_t total =
+        std::accumulate(partial.begin(), partial.end(), std::uint64_t{0});
+    ASSERT_EQ(total, expected) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, SlotChunksAreDeterministic) {
+  // The same (count, size) must give the same slot -> range assignment on
+  // every dispatch; per-slot accumulation relies on it.
+  ThreadPool pool(3);
+  std::vector<std::vector<int>> first(3);
+  std::vector<std::vector<int>> second(3);
+  const auto record = [](std::vector<std::vector<int>>& into) {
+    return [&into](int begin, int end, int slot) {
+      into[static_cast<std::size_t>(slot)] = {begin, end};
+    };
+  };
+  pool.parallel_for(10, record(first));
+  pool.parallel_for(10, record(second));
+  EXPECT_EQ(first, second);
+}
+
+TEST(ThreadPoolTest, PropagatesChunkExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [](int begin, int, int) {
+                          if (begin == 0) {
+                            throw std::runtime_error("chunk failed");
+                          }
+                        }),
+      std::runtime_error);
+  // The pool must survive a throwing job and accept the next one.
+  std::atomic<int> touched{0};
+  pool.parallel_for(100, [&](int begin, int end, int) {
+    touched += end - begin;
+  });
+  EXPECT_EQ(touched.load(), 100);
+}
+
+}  // namespace
+}  // namespace gridlb

@@ -1,0 +1,125 @@
+// Multi-threaded hammer tests for the sharded CachedEvaluator: many
+// threads replaying overlapping lookup streams must always observe the
+// same value per key, keep hits + misses equal to the number of lookups,
+// and drive the engine exactly once per recorded miss.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "pace/evaluation_engine.hpp"
+#include "pace/paper_applications.hpp"
+
+namespace gridlb::pace {
+namespace {
+
+TEST(CachedEvaluatorConcurrencyTest, HammeredLookupsStayConsistent) {
+  EvaluationEngine engine;
+  CachedEvaluator cache(engine);
+  const ApplicationCatalogue catalogue = paper_catalogue();
+  const auto sgi = ResourceModel::of(HardwareType::kSgiOrigin2000);
+
+  // Serial ground truth for every (app, nproc) key.
+  EvaluationEngine reference_engine;
+  std::map<std::pair<const ApplicationModel*, int>, double> reference;
+  for (const auto& model : catalogue.all()) {
+    for (int nproc = 1; nproc <= 16; ++nproc) {
+      reference[{model.get(), nproc}] =
+          reference_engine.evaluate(*model, sgi, nproc);
+    }
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  const std::uint64_t per_thread_lookups =
+      static_cast<std::uint64_t>(kRounds) * catalogue.size() * 16;
+
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread sweeps the whole key space repeatedly, starting at a
+      // different offset so first-touches collide across threads.
+      for (int round = 0; round < kRounds; ++round) {
+        for (std::size_t a = 0; a < catalogue.size(); ++a) {
+          const auto& model =
+              catalogue.all()[(a + static_cast<std::size_t>(t)) %
+                              catalogue.size()];
+          for (int nproc = 1; nproc <= 16; ++nproc) {
+            const double got = cache.evaluate(*model, sgi, nproc);
+            if (got != reference[{model.get(), nproc}]) {
+              ++mismatches[static_cast<std::size_t>(t)];
+            }
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0)
+        << "thread " << t << " observed a divergent cached value";
+  }
+
+  const CacheStats stats = cache.stats();
+  const std::uint64_t unique_keys = catalogue.size() * 16;
+  // No lookup is ever dropped or double-counted.
+  EXPECT_EQ(stats.lookups(), per_thread_lookups * kThreads);
+  // Every key was eventually cached; racing first-touches may each record
+  // a miss, so misses can exceed the distinct-key count but stay far
+  // below one per thread per key.
+  EXPECT_EQ(cache.size(), unique_keys);
+  EXPECT_GE(stats.misses, unique_keys);
+  EXPECT_LE(stats.misses, unique_keys * kThreads);
+  // Each recorded miss drives exactly one engine evaluation.
+  EXPECT_EQ(engine.evaluations(), stats.misses);
+}
+
+TEST(CachedEvaluatorConcurrencyTest, ClearUnderLoadKeepsValuesCorrect) {
+  // clear() while other threads look up: values must stay correct (they
+  // are recomputed from the pure engine), only the stats/occupancy move.
+  EvaluationEngine engine;
+  CachedEvaluator cache(engine);
+  const auto model = make_paper_application("sweep3d");
+  const auto sgi = ResourceModel::of(HardwareType::kSgiOrigin2000);
+
+  EvaluationEngine reference_engine;
+  std::vector<double> reference;
+  for (int nproc = 1; nproc <= 16; ++nproc) {
+    reference.push_back(reference_engine.evaluate(*model, sgi, nproc));
+  }
+
+  std::vector<int> mismatches(4, 0);
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      for (int round = 0; round < 500; ++round) {
+        for (int nproc = 1; nproc <= 16; ++nproc) {
+          if (cache.evaluate(*model, sgi, nproc) !=
+              reference[static_cast<std::size_t>(nproc - 1)]) {
+            ++mismatches[static_cast<std::size_t>(t)];
+          }
+        }
+      }
+    });
+  }
+  std::thread clearer([&] {
+    for (int round = 0; round < 50; ++round) cache.clear();
+  });
+  for (auto& reader : readers) reader.join();
+  clearer.join();
+
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0);
+  }
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.lookups(), 4u * 500u * 16u);
+}
+
+}  // namespace
+}  // namespace gridlb::pace

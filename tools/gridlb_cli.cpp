@@ -9,7 +9,8 @@
 //       Run the case-study experiments and print Table 3 (or CSV).
 //   gridlb campaign [--requests N] [--policy ga|fifo] [--agents on|off]
 //                   [--seed S] [--pull-period P] [--prediction-error E]
-//                   [--churn-mtbf M --churn-mttr R] [--csv] [--trace S1]
+//                   [--eval-threads N] [--churn-mtbf M --churn-mttr R]
+//                   [--csv] [--trace S1]
 //       Run a custom campaign on the Fig. 7 grid; --trace renders one
 //       resource's executed Gantt chart.
 //
@@ -104,6 +105,9 @@ core::ExperimentConfig campaign_config(const Flags& flags) {
   config.policy = policy == "ga" ? sched::SchedulerPolicy::kGa
                                  : sched::SchedulerPolicy::kFifo;
   config.agents_enabled = flags.get_bool("agents", true);
+  config.ga.eval_threads = flags.get_int("eval-threads", 0);
+  GRIDLB_REQUIRE(config.ga.eval_threads >= 0,
+                 "--eval-threads must be >= 0 (0 = hardware concurrency)");
   config.pull_period = flags.get_double("pull-period", 10.0);
   config.prediction_error = flags.get_double("prediction-error", 0.0);
   const double mtbf = flags.get_double("churn-mtbf", 0.0);
@@ -133,6 +137,7 @@ int cmd_experiment(const Flags& flags) {
     config.workload.count = flags.get_int("requests", 600);
     config.workload.seed =
         static_cast<std::uint64_t>(flags.get_int("seed", 2003));
+    config.ga.eval_threads = flags.get_int("eval-threads", 0);
     std::fprintf(stderr, "running %s…\n", config.name.c_str());
     results.push_back(core::run_experiment(config));
   }
@@ -196,6 +201,8 @@ Flags make_flags() {
   flags.declare("requests", "N", "number of portal requests");
   flags.declare("seed", "S", "workload seed");
   flags.declare("policy", "ga|fifo", "local scheduling policy");
+  flags.declare("eval-threads", "N",
+                "GA evaluate-phase threads (0 = hardware concurrency)");
   flags.declare("agents", "on|off", "agent-based discovery");
   flags.declare("pull-period", "sec", "advertisement pull period");
   flags.declare("prediction-error", "e", "actual = predicted × U[1−e,1+e]");
