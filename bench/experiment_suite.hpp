@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "common/log.hpp"
 #include "core/gridlb.hpp"
 
 namespace gridlb::bench {
@@ -14,7 +15,7 @@ inline std::vector<core::ExperimentResult> run_experiment_suite() {
   std::vector<core::ExperimentResult> results;
   for (const core::ExperimentConfig& config :
        {core::experiment1(), core::experiment2(), core::experiment3()}) {
-    std::fprintf(stderr, "running %s…\n", config.name.c_str());
+    log::info("running ", config.name, "…");
     results.push_back(core::run_experiment(config));
   }
   return results;

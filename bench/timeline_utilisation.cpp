@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "common/log.hpp"
 #include "core/gridlb.hpp"
 #include "metrics/time_series.hpp"
 
@@ -18,7 +19,7 @@ int main() {
        {core::experiment1(), core::experiment2(), core::experiment3()}) {
     core::ExperimentConfig config = base;
     config.workload.count = 600;
-    std::fprintf(stderr, "running %s…\n", config.name.c_str());
+    log::info("running ", config.name, "…");
 
     // Re-run through the collector to keep the records.
     sim::Engine engine;

@@ -5,6 +5,8 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "pace/hardware.hpp"
 
 namespace gridlb::agents {
@@ -138,10 +140,20 @@ void Agent::receive_request(Request request, bool final_dispatch) {
     // gone degenerate): execute here rather than bounce forever.
     if (config_.strict_failure) {
       ++stats_.dropped;
+      obs::emit({.at = engine_.now(),
+                 .kind = obs::EventKind::kRequestRejected,
+                 .extra = static_cast<std::uint32_t>(hops),
+                 .task = request.task.value(),
+                 .resource = config_.id.value()});
       return;
     }
     ++stats_.fallback_dispatches;
     stats_.hops_accumulated += hops;
+    obs::emit({.at = engine_.now(),
+               .kind = obs::EventKind::kDiscoveryFallback,
+               .extra = static_cast<std::uint32_t>(hops),
+               .task = request.task.value(),
+               .resource = config_.id.value()});
     dispatch_local(std::move(request));
     return;
   }
@@ -157,6 +169,12 @@ void Agent::receive_request(Request request, bool final_dispatch) {
                request.task.str(), " matched locally, eta=", *eta);
     stats_.hops_accumulated += hops;
     if (hops == 0) ++stats_.zero_hop_dispatches;
+    obs::emit({.at = engine_.now(),
+               .kind = obs::EventKind::kDiscoveryLocal,
+               .extra = static_cast<std::uint32_t>(hops),
+               .task = request.task.value(),
+               .resource = config_.id.value(),
+               .a = *eta});
     dispatch_local(std::move(request));
     return;
   }
@@ -168,6 +186,7 @@ void Agent::receive_request(Request request, bool final_dispatch) {
   AgentId best_described;
   const ServiceInfo* best_info = nullptr;
   SimTime best_eta = std::numeric_limits<double>::infinity();
+  SimTime best_updated = 0.0;
   for (const auto& entry : act_.entries()) {
     if (entry.agent == config_.id) continue;
     if (already_visited(request, entry.agent)) continue;
@@ -179,10 +198,24 @@ void Agent::receive_request(Request request, bool final_dispatch) {
       best_route = route;
       best_described = entry.agent;
       best_info = &entry.info;
+      best_updated = entry.updated_at;
     }
   }
   if (best_route != nullptr) {
     ++stats_.forwarded_match;
+    const double staleness = std::max(0.0, engine_.now() - best_updated);
+    obs::emit({.at = engine_.now(),
+               .kind = obs::EventKind::kDiscoveryNeighbour,
+               .extra = static_cast<std::uint32_t>(hops),
+               .task = request.task.value(),
+               .resource = best_described.value(),
+               .a = best_eta,
+               .b = staleness});
+    if (auto* reg = obs::registry()) {
+      reg->histogram("act.staleness_at_use",
+                     {0.0, 0.5, 1, 2, 5, 10, 20, 50, 100, 200})
+          .observe(staleness);
+    }
     log::debug("agent ", config_.name, " t=", engine_.now(), " task ",
                request.task.str(), " forwarded toward agent ",
                best_described.str(), " via ", best_route->name(),
@@ -197,6 +230,11 @@ void Agent::receive_request(Request request, bool final_dispatch) {
   // 3. No advertised service meets the requirement: escalate.
   if (parent_ != nullptr && !already_visited(request, parent_->id())) {
     ++stats_.forwarded_up;
+    obs::emit({.at = engine_.now(),
+               .kind = obs::EventKind::kDiscoveryUpper,
+               .extra = static_cast<std::uint32_t>(hops),
+               .task = request.task.value(),
+               .resource = parent_->id().value()});
     log::debug("agent ", config_.name, " t=", engine_.now(), " task ",
                request.task.str(), " escalated to ", parent_->name());
     forward(std::move(request), parent_, false);
@@ -207,11 +245,21 @@ void Agent::receive_request(Request request, bool final_dispatch) {
   // unsuccessfully in the paper's sense.
   if (config_.strict_failure) {
     ++stats_.dropped;
+    obs::emit({.at = engine_.now(),
+               .kind = obs::EventKind::kRequestRejected,
+               .extra = static_cast<std::uint32_t>(hops),
+               .task = request.task.value(),
+               .resource = config_.id.value()});
     log::warn("agent ", config_.name, " t=", engine_.now(), " task ",
               request.task.str(), " dropped: no grid resource matches");
     return;
   }
   ++stats_.fallback_dispatches;
+  obs::emit({.at = engine_.now(),
+             .kind = obs::EventKind::kDiscoveryFallback,
+             .extra = static_cast<std::uint32_t>(hops),
+             .task = request.task.value(),
+             .resource = config_.id.value()});
   // Best effort: smallest estimated completion among the own resource and
   // every known service, deadline or not.
   Agent* target = nullptr;  // nullptr = self
@@ -249,6 +297,17 @@ void Agent::receive_request(Request request, bool final_dispatch) {
 
 void Agent::dispatch_local(Request request) {
   ++stats_.dispatched_local;
+  const auto hops = static_cast<std::uint32_t>(request.visited.size());
+  obs::emit({.at = engine_.now(),
+             .kind = obs::EventKind::kRequestDispatched,
+             .extra = hops,
+             .task = request.task.value(),
+             .resource = config_.id.value(),
+             .a = request.deadline});
+  if (auto* reg = obs::registry()) {
+    reg->histogram("discovery.hops", {0, 1, 2, 3, 4, 6, 8, 12, 16})
+        .observe(static_cast<double>(hops));
+  }
   const pace::ApplicationModelPtr app = catalogue_.find(request.app_name);
   GRIDLB_REQUIRE(app != nullptr,
                  "dispatch of unknown application " + request.app_name);
@@ -301,6 +360,10 @@ void Agent::forward(Request request, Agent* to, bool final_dispatch) {
 }
 
 void Agent::pull_from_neighbours() {
+  obs::emit({.at = engine_.now(),
+             .kind = obs::EventKind::kAdvertisementPull,
+             .resource = config_.id.value(),
+             .a = static_cast<double>(act_.size())});
   xml::Element pull("agentgrid");
   pull.set_attribute("type", "pull");
   const std::string payload = xml::write(pull);
@@ -374,6 +437,16 @@ void Agent::handle_advertisement(const sim::Message& message) {
     described = AgentId(std::stoull(std::string(*agentid)));
   }
   if (described == config_.id) return;  // echo of our own service
+  // `a` carries the age of the entry being replaced (0 for a first sight):
+  // the refresh interval actually achieved, as opposed to the staleness
+  // observed when an entry is *used* (kDiscoveryNeighbour's `b`).
+  const auto* previous = act_.find(described);
+  const double refresh_age =
+      previous ? std::max(0.0, engine_.now() - previous->updated_at) : 0.0;
+  obs::emit({.at = engine_.now(),
+             .kind = obs::EventKind::kAdvertisementReceived,
+             .resource = described.value(),
+             .a = refresh_age});
   act_.upsert(described, service_info_from_xml(message.payload),
               engine_.now(), *sender);
 }

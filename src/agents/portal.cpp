@@ -3,6 +3,7 @@
 #include "agents/request.hpp"
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/trace.hpp"
 #include "xml/xml.hpp"
 
 namespace gridlb::agents {
@@ -42,6 +43,11 @@ TaskId Portal::submit(Agent& entry, const std::string& app_name,
   submit_times_[static_cast<std::size_t>(submitted_)] = engine_.now();
 
   if (collector_ != nullptr) collector_->on_submission(engine_.now());
+  obs::emit({.at = engine_.now(),
+             .kind = obs::EventKind::kRequestSubmitted,
+             .task = request.task.value(),
+             .resource = entry.id().value(),
+             .a = deadline});
   network_.send(endpoint_, entry.endpoint(), to_xml(request));
   return request.task;
 }

@@ -1,9 +1,12 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
+
+#include "common/sim_clock.hpp"
 
 namespace gridlb::log {
 
@@ -16,6 +19,9 @@ Level initial_level() {
   if (value == "debug") return Level::kDebug;
   if (value == "info") return Level::kInfo;
   if (value == "warn") return Level::kWarn;
+  if (value == "off") return Level::kOff;
+  // Unknown values silence the logger rather than spam: a typo in
+  // GRIDLB_LOG should never flood a batch run.
   return Level::kOff;
 }
 
@@ -43,9 +49,19 @@ void set_level(Level lvl) {
 }
 
 void write(Level lvl, const std::string& message) {
+  // Prefix every line with the published simulation time so interleaved
+  // narration from different subsystems stays sortable; "t=-" before the
+  // first engine event (or outside any simulation).
+  char stamp[32];
+  if (simclock::available()) {
+    std::snprintf(stamp, sizeof stamp, "t=%.3f", simclock::now());
+  } else {
+    std::snprintf(stamp, sizeof stamp, "t=-");
+  }
   static std::mutex mutex;
   const std::lock_guard<std::mutex> lock(mutex);
-  std::cerr << "[gridlb " << tag(lvl) << "] " << message << '\n';
+  std::cerr << "[gridlb " << tag(lvl) << ' ' << stamp << "] " << message
+            << '\n';
 }
 
 }  // namespace gridlb::log

@@ -1,9 +1,11 @@
 // Minimal leveled logger.
 //
 // The simulator is quiet by default; set_level(Level::kDebug) (or the
-// GRIDLB_LOG environment variable: "debug" / "info" / "warn") turns on
-// narration of scheduling and discovery decisions, which is invaluable when
-// diagnosing a divergent experiment run.
+// GRIDLB_LOG environment variable: "debug" / "info" / "warn" / "off")
+// turns narration of scheduling and discovery decisions on or off — which
+// is invaluable when diagnosing a divergent experiment run.  Every line
+// carries the level and the current simulation time (`t=-` before the
+// first event), so interleaved narration stays sortable.
 #pragma once
 
 #include <sstream>

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <iomanip>
 #include <limits>
+#include <optional>
 #include <sstream>
 
 #include "agents/portal.hpp"
 #include "common/assert.hpp"
+#include "common/sim_clock.hpp"
 #include "core/case_study.hpp"
 #include "pace/paper_applications.hpp"
 #include "sim/engine.hpp"
@@ -20,6 +22,89 @@ ExperimentConfig base_experiment() {
   config.resources = case_study_resources();
   return config;
 }
+
+std::vector<std::string> resource_labels(const ExperimentConfig& config) {
+  std::vector<std::string> names;
+  names.reserve(config.resources.size());
+  for (const auto& spec : config.resources) names.push_back(spec.name);
+  return names;
+}
+
+/// End-of-run registry population.  Histograms fill live during the run
+/// (queue depth, hops, staleness, GA convergence); the counters and
+/// gauges below come from the authoritative per-subsystem statistics so
+/// the registry snapshot always agrees with Table 3's inputs.
+void populate_registry(obs::MetricsRegistry& registry,
+                       const ExperimentResult& result,
+                       agents::AgentSystem& system) {
+  registry.counter("portal.requests_submitted").add(result.requests_submitted);
+  registry.counter("sched.tasks_completed").add(result.tasks_completed);
+  registry.counter("agents.requests_dropped").add(result.tasks_dropped);
+  registry.counter("sim.events").add(result.sim_events);
+  registry.counter("net.messages").add(result.network_messages);
+  registry.counter("net.bytes").add(result.network_bytes);
+  registry.counter("pace.cache.hits").add(result.cache.hits);
+  registry.counter("pace.cache.misses").add(result.cache.misses);
+  registry.counter("ga.decodes").add(result.ga_decodes);
+  registry.gauge("pace.cache.hit_rate").set(result.cache.hit_rate());
+  registry.gauge("discovery.mean_hops").set(result.mean_hops);
+  registry.gauge("sim.finished_at").set(result.finished_at);
+
+  const auto shards = system.evaluator().shard_snapshots();
+  std::size_t max_entries = 0;
+  std::size_t total_entries = 0;
+  for (const auto& shard : shards) {
+    max_entries = std::max(max_entries, shard.entries);
+    total_entries += shard.entries;
+  }
+  registry.gauge("pace.cache.entries")
+      .set(static_cast<double>(total_entries));
+  registry.gauge("pace.cache.max_shard_entries")
+      .set(static_cast<double>(max_entries));
+
+  std::uint64_t forwarded = 0;
+  std::uint64_t advertisements = 0;
+  std::uint64_t pulls = 0;
+  for (const auto& stats : result.agent_stats) {
+    forwarded += stats.forwarded_match + stats.forwarded_up;
+    advertisements += stats.advertisements_received;
+    pulls += stats.pulls_sent;
+  }
+  registry.counter("agents.requests_forwarded").add(forwarded);
+  registry.counter("agents.advertisements_received").add(advertisements);
+  registry.counter("agents.pulls_sent").add(pulls);
+}
+
+/// Scoped observability for one experiment run: installs the instruments
+/// on construction; `finish` fills the result's trace tallies, populates
+/// the registry from the authoritative stats, and writes the configured
+/// output files.
+class ObsScope {
+ public:
+  explicit ObsScope(const ExperimentConfig& config) : config_(&config) {
+    if (config.obs.enabled()) {
+      simclock::reset();
+      session_.emplace(config.obs);
+    }
+  }
+
+  void finish(ExperimentResult& result, agents::AgentSystem& system) {
+    if (!session_) return;
+    if (obs::TraceRecorder* recorder = session_->recorder()) {
+      const obs::TraceSnapshot snapshot = recorder->snapshot();
+      result.trace_events = snapshot.recorded;
+      result.trace_dropped = snapshot.dropped;
+    }
+    if (obs::MetricsRegistry* registry = session_->registry()) {
+      populate_registry(*registry, result, system);
+    }
+    session_->export_outputs(resource_labels(*config_));
+  }
+
+ private:
+  const ExperimentConfig* config_;
+  std::optional<obs::Session> session_;
+};
 
 }  // namespace
 
@@ -50,6 +135,7 @@ ExperimentConfig experiment3() {
 ExperimentResult run_experiment(const ExperimentConfig& config) {
   GRIDLB_REQUIRE(!config.resources.empty(), "experiment needs resources");
 
+  ObsScope obs_scope(config);
   sim::Engine engine;
   metrics::MetricsCollector collector;
   const pace::ApplicationCatalogue catalogue = pace::paper_catalogue();
@@ -126,12 +212,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.mean_hops =
       executed > 0 ? static_cast<double>(hops) / static_cast<double>(executed)
                    : 0.0;
+  obs_scope.finish(result, system);
   return result;
 }
 
 ExperimentResult run_central_experiment(const ExperimentConfig& config) {
   GRIDLB_REQUIRE(!config.resources.empty(), "experiment needs resources");
 
+  ObsScope obs_scope(config);
   sim::Engine engine;
   metrics::MetricsCollector collector;
   const pace::ApplicationCatalogue catalogue = pace::paper_catalogue();
@@ -217,6 +305,7 @@ ExperimentResult run_central_experiment(const ExperimentConfig& config) {
     result.ga_decodes += system.agent(i).scheduler().ga_decodes();
     result.fifo_subsets += system.agent(i).scheduler().fifo_subsets_tried();
   }
+  obs_scope.finish(result, system);
   return result;
 }
 

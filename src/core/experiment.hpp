@@ -15,6 +15,7 @@
 #include "agents/agent_system.hpp"
 #include "core/workload.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/obs.hpp"
 
 namespace gridlb::core {
 
@@ -36,6 +37,10 @@ struct ExperimentConfig {
   agents::ChurnConfig churn;       ///< node failure/repair model
   /// Abort (with an assertion) if the grid has not drained by this time.
   SimTime horizon_limit = 48.0 * 3600.0;
+  /// Observability: tracing/metrics instruments and their output files.
+  /// Disabled by default; enabling it never changes experiment results
+  /// (see DESIGN.md §9).
+  obs::ObsConfig obs;
 };
 
 /// Table 2 presets.
@@ -60,6 +65,9 @@ struct ExperimentResult {
   std::uint64_t fifo_subsets = 0;
   std::uint64_t sim_events = 0;
   SimTime finished_at = 0.0;           ///< virtual time of the last event
+  // Observability (zero unless config.obs enabled tracing).
+  std::uint64_t trace_events = 0;      ///< events captured in the rings
+  std::uint64_t trace_dropped = 0;     ///< events lost to ring wrap
 };
 
 /// Runs one experiment to completion (all submitted tasks executed or

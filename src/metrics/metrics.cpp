@@ -164,6 +164,12 @@ std::string format_report(const Report& report) {
   };
   for (const auto& row : report.resources) emit(row);
   emit(report.total);
+  if (report.total.tasks == 0) {
+    // An all-zero table looks like a measured result; say explicitly that
+    // nothing completed so the window statistics are vacuous.
+    os << "(no completions: utilisation and balance are undefined over an "
+          "empty window)\n";
+  }
   return os.str();
 }
 

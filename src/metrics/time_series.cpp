@@ -39,6 +39,8 @@ Timeline build_timeline(
     const auto resource_index = record.resource.value() - 1;
     GRIDLB_REQUIRE(resource_index < out.resources.size(),
                    "record references an unknown resource");
+    GRIDLB_REQUIRE(record.end >= record.start,
+                   "completion record runs backwards in time");
     UtilisationSeries& series = out.resources[resource_index];
     const double weight = static_cast<double>(sched::node_count(record.mask));
     // Spread the execution's node-seconds over the buckets it overlaps.

@@ -1,0 +1,50 @@
+#include "obs/obs.hpp"
+
+#include "common/assert.hpp"
+#include "obs/exporters.hpp"
+
+namespace gridlb::obs {
+
+Session::Session(ObsConfig config) : config_(std::move(config)) {
+  // Qualified calls: the unqualified names would find the member
+  // accessors (still null mid-construction), not the global ones.
+  if (config_.trace_enabled()) {
+    GRIDLB_REQUIRE(gridlb::obs::trace() == nullptr,
+                   "another observability session is already tracing");
+    recorder_ = std::make_unique<TraceRecorder>(
+        config_.control_ring_capacity, config_.highfreq_ring_capacity);
+    detail::install_recorder(recorder_.get());
+  }
+  if (config_.metrics_enabled()) {
+    GRIDLB_REQUIRE(gridlb::obs::registry() == nullptr,
+                   "another observability session already has a registry");
+    registry_ = std::make_unique<MetricsRegistry>();
+    detail::install_registry(registry_.get());
+  }
+}
+
+Session::~Session() {
+  if (recorder_ != nullptr) detail::install_recorder(nullptr);
+  if (registry_ != nullptr) detail::install_registry(nullptr);
+}
+
+bool Session::export_outputs(const std::vector<std::string>& resource_names) {
+  bool ok = true;
+  if (recorder_ != nullptr &&
+      (!config_.trace_out.empty() || !config_.events_out.empty())) {
+    const TraceSnapshot snapshot = recorder_->snapshot();
+    if (!config_.trace_out.empty()) {
+      ok &= write_file(config_.trace_out,
+                       chrome_trace_json(snapshot, resource_names));
+    }
+    if (!config_.events_out.empty()) {
+      ok &= write_file(config_.events_out, events_jsonl(snapshot));
+    }
+  }
+  if (registry_ != nullptr && !config_.metrics_json_out.empty()) {
+    ok &= write_file(config_.metrics_json_out, registry_->json_snapshot());
+  }
+  return ok;
+}
+
+}  // namespace gridlb::obs

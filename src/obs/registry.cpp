@@ -1,0 +1,181 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace gridlb::obs {
+
+namespace {
+
+/// JSON-safe number: non-finite doubles have no JSON spelling.
+void json_number(std::ostringstream& os, double value) {
+  if (!std::isfinite(value)) {
+    os << "null";
+    return;
+  }
+  os << std::setprecision(17) << value << std::setprecision(6);
+}
+
+void json_string(std::ostringstream& os, std::string_view text) {
+  os << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          os << buffer;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) {
+  GRIDLB_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()) &&
+                     std::adjacent_find(bounds.begin(), bounds.end()) ==
+                         bounds.end(),
+                 "histogram bounds must be strictly increasing");
+  data_.bounds = std::move(bounds);
+  data_.buckets.assign(data_.bounds.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (data_.count == 0) {
+    data_.min = data_.max = value;
+  } else {
+    data_.min = std::min(data_.min, value);
+    data_.max = std::max(data_.max, value);
+  }
+  ++data_.count;
+  data_.sum += value;
+  const auto it =
+      std::lower_bound(data_.bounds.begin(), data_.bounds.end(), value);
+  ++data_.buckets[static_cast<std::size_t>(it - data_.bounds.begin())];
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return data_;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string(name), std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string(name), std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> bounds) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string(name),
+                       std::make_unique<Histogram>(std::move(bounds)))
+              .first->second;
+}
+
+std::string MetricsRegistry::text_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) {
+    os << std::left << std::setw(36) << name << ' ' << counter->value()
+       << '\n';
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    os << std::left << std::setw(36) << name << ' ' << gauge->value() << '\n';
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const Histogram::Snapshot snap = histogram->snapshot();
+    os << std::left << std::setw(36) << name << " count=" << snap.count
+       << " mean=" << snap.mean() << " min=" << snap.min
+       << " max=" << snap.max << '\n';
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::json_snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    json_string(os, name);
+    os << ':' << counter->value();
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    json_string(os, name);
+    os << ':';
+    json_number(os, gauge->value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    const Histogram::Snapshot snap = histogram->snapshot();
+    json_string(os, name);
+    os << ":{\"count\":" << snap.count << ",\"sum\":";
+    json_number(os, snap.sum);
+    os << ",\"min\":";
+    json_number(os, snap.min);
+    os << ",\"max\":";
+    json_number(os, snap.max);
+    os << ",\"mean\":";
+    json_number(os, snap.mean());
+    os << ",\"buckets\":[";
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      if (i != 0) os << ',';
+      os << "{\"le\":";
+      if (i < snap.bounds.size()) {
+        json_number(os, snap.bounds[i]);
+      } else {
+        os << "\"+inf\"";
+      }
+      os << ",\"count\":" << snap.buckets[i] << '}';
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+namespace detail {
+
+void install_registry(MetricsRegistry* registry) {
+  g_registry.store(registry, std::memory_order_release);
+}
+
+}  // namespace detail
+
+}  // namespace gridlb::obs

@@ -1,8 +1,11 @@
 #include "pace/evaluation_engine.hpp"
 
 #include <functional>
+#include <optional>
 
 #include "common/assert.hpp"
+#include "common/sim_clock.hpp"
+#include "obs/trace.hpp"
 
 namespace gridlb::pace {
 
@@ -31,12 +34,21 @@ double CachedEvaluator::evaluate(const ApplicationModel& app,
   const std::size_t hash = KeyHash{}(key);
   Shard& shard = shards_[hash % kShardCount];
   {
-    const std::lock_guard lock(shard.mutex);
-    if (const auto it = shard.map.find(key); it != shard.map.end()) {
-      ++shard.stats.hits;
-      return it->second;
+    std::optional<double> cached;
+    {
+      const std::lock_guard lock(shard.mutex);
+      if (const auto it = shard.map.find(key); it != shard.map.end()) {
+        ++shard.stats.hits;
+        cached = it->second;
+      } else {
+        ++shard.stats.misses;
+      }
     }
-    ++shard.stats.misses;
+    obs::emit({.at = simclock::now(),
+               .kind = cached ? obs::EventKind::kCacheHit
+                              : obs::EventKind::kCacheMiss,
+               .extra = static_cast<std::uint32_t>(nproc)});
+    if (cached) return *cached;
   }
   // Compute outside the lock so one slow miss never serialises its whole
   // shard; a concurrent miss on the same key computes the same value and
@@ -55,6 +67,17 @@ CacheStats CachedEvaluator::stats() const {
     total.misses += shard.stats.misses;
   }
   return total;
+}
+
+std::vector<CachedEvaluator::ShardSnapshot> CachedEvaluator::shard_snapshots()
+    const {
+  std::vector<ShardSnapshot> out;
+  out.reserve(kShardCount);
+  for (const Shard& shard : shards_) {
+    const std::lock_guard lock(shard.mutex);
+    out.push_back(ShardSnapshot{shard.stats, shard.map.size()});
+  }
+  return out;
 }
 
 std::size_t CachedEvaluator::size() const {

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "pace/application_model.hpp"
 #include "pace/hardware.hpp"
@@ -48,8 +49,10 @@ class EvaluationEngine {
   std::atomic<std::uint64_t> evaluations_{0};
 };
 
-/// Statistics for one cache instance (a point-in-time snapshot when
-/// obtained from CachedEvaluator::stats()).
+/// Hit/miss statistics.  The cache keeps one CacheStats per shard (each
+/// guarded by its shard's mutex); CachedEvaluator::stats() returns the
+/// point-in-time aggregate over every shard and shard_snapshots() exposes
+/// the per-shard view together with each shard's occupancy.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
@@ -79,6 +82,14 @@ class CachedEvaluator {
 
   /// Aggregated snapshot over all shards.
   [[nodiscard]] CacheStats stats() const;
+  /// Per-shard hit/miss statistics and occupancy (entry count), shard
+  /// order.  Useful for checking that the key hash spreads load — a hot
+  /// shard serialises its callers.
+  struct ShardSnapshot {
+    CacheStats stats;
+    std::size_t entries = 0;
+  };
+  [[nodiscard]] std::vector<ShardSnapshot> shard_snapshots() const;
   /// Cached entries across all shards.
   [[nodiscard]] std::size_t size() const;
   void clear();

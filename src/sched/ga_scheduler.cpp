@@ -238,6 +238,7 @@ GaResult GaScheduler::optimize(std::span<const Task> tasks,
   };
 
   bool have_best = false;
+  result.generations.reserve(static_cast<std::size_t>(config_.generations));
   for (int generation = 0; generation < config_.generations; ++generation) {
     // Evaluate.  Only this phase runs on the pool: each individual's
     // decode and cost are pure (the evaluation cache is thread-safe and
@@ -259,7 +260,11 @@ GaResult GaScheduler::optimize(std::span<const Task> tasks,
       result.best_cost = *best_it;
       result.best = population_[best_index];
       result.schedule = decoded[best_index];
+      result.converged_at = generation;
     }
+    result.generations.push_back(GaResult::GenerationStat{
+        *best_it, std::accumulate(costs.begin(), costs.end(), 0.0) /
+                      static_cast<double>(n)});
     ++result.generations_run;
     if (generation + 1 == config_.generations) break;
 

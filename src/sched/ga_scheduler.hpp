@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
@@ -48,6 +49,17 @@ struct GaResult {
   double best_cost = 0.0;
   int generations_run = 0;
   std::uint64_t decodes = 0;  ///< schedule evaluations this invocation
+  /// Per-generation convergence curve (observability; filled on every
+  /// invocation — a handful of doubles, and gathering it consumes no
+  /// randomness, so results are identical whether or not anyone looks).
+  struct GenerationStat {
+    double best_cost = 0.0;  ///< best individual this generation
+    double mean_cost = 0.0;  ///< population mean this generation
+  };
+  std::vector<GenerationStat> generations;
+  /// Generation index (0-based) at which the best-ever cost last
+  /// improved — the "generations to converge" of the run.
+  int converged_at = 0;
 };
 
 class GaScheduler {

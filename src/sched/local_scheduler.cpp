@@ -4,12 +4,27 @@
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace gridlb::sched {
 
 namespace {
 
 constexpr double kStartEpsilon = 1e-9;
+
+/// Pending-count sample: one trace event (rendered as a Chrome counter
+/// track per resource) plus one histogram observation.
+void observe_queue_depth(SimTime now, AgentId resource, int depth) {
+  obs::emit({.at = now,
+             .kind = obs::EventKind::kQueueDepth,
+             .resource = resource.value(),
+             .a = static_cast<double>(depth)});
+  if (auto* reg = obs::registry()) {
+    reg->histogram("sched.queue_depth", {0, 1, 2, 4, 8, 16, 32, 64, 128})
+        .observe(static_cast<double>(depth));
+  }
+}
 
 // Deterministic per-task uniform(0,1) draw, independent of call order (so
 // FIFO and GA runs see identical realities for the same task).
@@ -104,6 +119,7 @@ void LocalScheduler::submit(Task task) {
   pending_.push_back(std::move(task));
   queue_stats_.peak_queue_length =
       std::max(queue_stats_.peak_queue_length, pending_count());
+  observe_queue_depth(engine_.now(), config_.resource_id, pending_count());
   if (config_.policy == SchedulerPolicy::kFifo) {
     // FIFO fixes the allocation immediately and permanently.
     reschedule();
@@ -143,6 +159,15 @@ void LocalScheduler::commit(std::size_t pending_index, NodeMask mask,
   });
   ++running_;
 
+  obs::emit({.at = engine_.now(),
+             .kind = obs::EventKind::kTaskSpan,
+             .extra = static_cast<std::uint32_t>(node_count(mask)),
+             .task = task.id.value(),
+             .resource = config_.resource_id.value(),
+             .a = start,
+             .b = end});
+  observe_queue_depth(engine_.now(), config_.resource_id, pending_count());
+
   CompletionRecord record;
   record.task = task.id;
   record.resource = config_.resource_id;
@@ -156,6 +181,11 @@ void LocalScheduler::commit(std::size_t pending_index, NodeMask mask,
   engine_.schedule_at(end, [this, record = std::move(record)]() {
     --running_;
     ++completed_;
+    obs::emit({.at = engine_.now(),
+               .kind = obs::EventKind::kTaskCompleted,
+               .task = record.task.value(),
+               .resource = record.resource.value(),
+               .a = record.deadline - record.end});  // advance time ε_j
     sink_(record);
     if (config_.policy == SchedulerPolicy::kGa && !pending_.empty()) {
       request_reschedule();
@@ -193,7 +223,32 @@ void LocalScheduler::reschedule() {
   // GA policy: re-optimise the whole pending set, then start the tasks
   // whose planned moment has arrived.
   ++ga_runs_;
+  obs::emit({.at = now,
+             .kind = obs::EventKind::kGaRunStarted,
+             .resource = config_.resource_id.value(),
+             .a = static_cast<double>(pending_.size())});
   const GaResult result = ga_->optimize(pending_, node_free_, now, available_);
+  if (obs::trace() != nullptr) {
+    for (std::size_t g = 0; g < result.generations.size(); ++g) {
+      obs::emit({.at = now,
+                 .kind = obs::EventKind::kGaGeneration,
+                 .extra = static_cast<std::uint32_t>(g),
+                 .resource = config_.resource_id.value(),
+                 .a = result.generations[g].best_cost,
+                 .b = result.generations[g].mean_cost});
+    }
+  }
+  obs::emit({.at = now,
+             .kind = obs::EventKind::kGaRunFinished,
+             .extra = static_cast<std::uint32_t>(result.generations_run),
+             .resource = config_.resource_id.value(),
+             .a = result.best_cost,
+             .b = static_cast<double>(result.converged_at)});
+  if (auto* reg = obs::registry()) {
+    reg->histogram("ga.generations_to_converge",
+                   {0, 1, 2, 4, 8, 12, 16, 20, 25, 50})
+        .observe(static_cast<double>(result.converged_at));
+  }
   last_plan_completion_ = std::max(result.schedule.completion, now);
   if (result.schedule.completion >=
       now + ScheduleBuilder::kUnavailableHorizon) {

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/assert.hpp"
+#include "common/sim_clock.hpp"
 
 namespace gridlb::sim {
 
@@ -71,6 +72,9 @@ bool Engine::step() {
   queue_.pop();
   GRIDLB_ASSERT(entry.at >= now_);
   now_ = entry.at;
+  // Publish the clock for off-engine consumers (logger sim-time prefixes,
+  // trace events emitted from thread-pool workers).
+  simclock::publish(now_);
   ++events_processed_;
   entry.fn();
   return true;
@@ -102,6 +106,7 @@ void Engine::run_until(SimTime until) {
     step();
   }
   now_ = until;
+  simclock::publish(now_);
 }
 
 }  // namespace gridlb::sim

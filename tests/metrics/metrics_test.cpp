@@ -160,6 +160,16 @@ TEST(FormatReport, ContainsRowsAndTotals) {
   EXPECT_NE(text.find("S1"), std::string::npos);
   EXPECT_NE(text.find("Total"), std::string::npos);
   EXPECT_NE(text.find("eps"), std::string::npos);
+  EXPECT_EQ(text.find("no completions"), std::string::npos);
+}
+
+TEST(FormatReport, SaysSoWhenNothingCompleted) {
+  MetricsCollector collector;
+  collector.add_resource(AgentId(1), "S1", 2);
+  collector.on_submission(0.0);
+  const std::string text = format_report(collector.report());
+  // The all-zero table must not masquerade as a measurement.
+  EXPECT_NE(text.find("no completions"), std::string::npos) << text;
 }
 
 }  // namespace

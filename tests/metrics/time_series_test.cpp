@@ -74,6 +74,43 @@ TEST(Timeline, EmptyRangeStillHasOneBucket) {
   EXPECT_EQ(timeline.buckets(), 1u);
 }
 
+TEST(Timeline, EmptySeriesIsEntirelyIdle) {
+  const auto timeline = build_timeline({}, kTwoResources, 10.0, 0.0, 30.0);
+  ASSERT_EQ(timeline.buckets(), 3u);
+  for (const auto& series : timeline.resources) {
+    for (const double u : series.utilisation) EXPECT_DOUBLE_EQ(u, 0.0);
+  }
+  for (const double u : timeline.total) EXPECT_DOUBLE_EQ(u, 0.0);
+  // Renders and serialises without tripping on the absence of data.
+  EXPECT_FALSE(render_timeline(timeline).empty());
+  EXPECT_NE(timeline_csv(timeline).find("0,Total,0"), std::string::npos);
+}
+
+TEST(Timeline, SingleSampleFillsExactlyItsOverlap) {
+  // One instantaneous-ish record entirely inside the middle bucket.
+  const auto timeline = build_timeline({record(2, 0b1, 12.0, 14.0)},
+                                       kTwoResources, 10.0, 0.0, 30.0);
+  ASSERT_EQ(timeline.buckets(), 3u);
+  EXPECT_DOUBLE_EQ(timeline.resources[1].utilisation[0], 0.0);
+  // 2 node-seconds over a 10 s × 4-node window.
+  EXPECT_DOUBLE_EQ(timeline.resources[1].utilisation[1], 2.0 / 40.0);
+  EXPECT_DOUBLE_EQ(timeline.resources[1].utilisation[2], 0.0);
+}
+
+TEST(Timeline, ZeroLengthRecordContributesNothing) {
+  const auto timeline = build_timeline({record(1, 0b1, 5.0, 5.0)},
+                                       kTwoResources, 10.0, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(timeline.resources[0].utilisation[0], 0.0);
+}
+
+TEST(Timeline, RecordRunningBackwardsIsRejected) {
+  // end < start is always a bookkeeping bug upstream; reject loudly
+  // instead of silently subtracting negative node-seconds.
+  EXPECT_THROW(build_timeline({record(1, 0b1, 10.0, 5.0)}, kTwoResources,
+                              10.0, 0.0, 20.0),
+               AssertionError);
+}
+
 TEST(Timeline, FromCollector) {
   MetricsCollector collector;
   collector.add_resource(AgentId(1), "S1", 2);

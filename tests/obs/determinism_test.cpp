@@ -1,0 +1,73 @@
+// Observation neutrality: enabling tracing and metrics must be bit-for-bit
+// invisible to the experiment — the overhead contract of DESIGN.md §9.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "obs/obs.hpp"
+
+namespace gridlb::core {
+namespace {
+
+ExperimentConfig small_experiment3() {
+  ExperimentConfig config = experiment3();
+  config.workload.count = 40;
+  return config;
+}
+
+void expect_identical(const ExperimentResult& plain,
+                      const ExperimentResult& observed) {
+  ASSERT_EQ(plain.completions.size(), observed.completions.size());
+  for (std::size_t i = 0; i < plain.completions.size(); ++i) {
+    const sched::CompletionRecord& a = plain.completions[i];
+    const sched::CompletionRecord& b = observed.completions[i];
+    EXPECT_EQ(a.task, b.task);
+    EXPECT_EQ(a.resource, b.resource);
+    EXPECT_EQ(a.mask, b.mask);
+    EXPECT_DOUBLE_EQ(a.start, b.start);
+    EXPECT_DOUBLE_EQ(a.end, b.end);
+  }
+  EXPECT_DOUBLE_EQ(plain.report.total.advance_time,
+                   observed.report.total.advance_time);
+  EXPECT_DOUBLE_EQ(plain.report.total.utilisation,
+                   observed.report.total.utilisation);
+  EXPECT_DOUBLE_EQ(plain.report.total.balance, observed.report.total.balance);
+  EXPECT_EQ(plain.sim_events, observed.sim_events);
+  EXPECT_EQ(plain.network_messages, observed.network_messages);
+  EXPECT_EQ(plain.ga_decodes, observed.ga_decodes);
+  EXPECT_DOUBLE_EQ(plain.finished_at, observed.finished_at);
+}
+
+TEST(ObservationNeutrality, TracingDoesNotChangeSchedulingResults) {
+  const ExperimentResult plain = run_experiment(small_experiment3());
+
+  ExperimentConfig traced = small_experiment3();
+  traced.obs.trace = true;
+  traced.obs.metrics = true;
+  const ExperimentResult observed = run_experiment(traced);
+
+  expect_identical(plain, observed);
+  // And the observed run actually observed something.
+  EXPECT_GT(observed.trace_events, 0u);
+  EXPECT_EQ(plain.trace_events, 0u);
+}
+
+TEST(ObservationNeutrality, SecondTracedRunMatchesFirst) {
+  ExperimentConfig traced = small_experiment3();
+  traced.obs.trace = true;
+  const ExperimentResult a = run_experiment(traced);
+  const ExperimentResult b = run_experiment(traced);
+  expect_identical(a, b);
+}
+
+TEST(ObservationNeutrality, FifoExperimentIsAlsoNeutral) {
+  ExperimentConfig config = experiment1();
+  config.workload.count = 24;
+  const ExperimentResult plain = run_experiment(config);
+  config.obs.trace = true;
+  config.obs.metrics = true;
+  const ExperimentResult observed = run_experiment(config);
+  expect_identical(plain, observed);
+}
+
+}  // namespace
+}  // namespace gridlb::core

@@ -1,0 +1,134 @@
+// Trace recorder unit tests: the disabled path records nothing, rings
+// wrap with accurate drop accounting, and the high-frequency channel
+// never evicts control-flow events.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace gridlb::obs {
+namespace {
+
+TraceEvent event_at(SimTime at, EventKind kind = EventKind::kQueueDepth) {
+  TraceEvent event;
+  event.at = at;
+  event.kind = kind;
+  return event;
+}
+
+ObsConfig trace_config(std::size_t control = 16, std::size_t highfreq = 8) {
+  ObsConfig config;
+  config.trace = true;
+  config.control_ring_capacity = control;
+  config.highfreq_ring_capacity = highfreq;
+  return config;
+}
+
+TEST(Trace, DisabledByDefault) {
+  EXPECT_EQ(trace(), nullptr);
+  // emit() with no recorder installed must be a no-op, not a crash.
+  for (int i = 0; i < 100; ++i) emit(event_at(static_cast<double>(i)));
+}
+
+TEST(Trace, EventsEmittedWhileDisabledAreNeverBuffered) {
+  emit(event_at(1.0));
+  emit(event_at(2.0));
+  Session session(trace_config());
+  const TraceSnapshot snapshot = session.recorder()->snapshot();
+  EXPECT_EQ(snapshot.events.size(), 0u);
+  EXPECT_EQ(snapshot.recorded, 0u);
+  EXPECT_EQ(snapshot.dropped, 0u);
+}
+
+TEST(Trace, RecordsThroughTheGlobalAccessor) {
+  Session session(trace_config());
+  ASSERT_NE(trace(), nullptr);
+  emit(event_at(3.0, EventKind::kGaRunStarted));
+  emit(event_at(1.0, EventKind::kRequestSubmitted));
+  emit(event_at(2.0, EventKind::kTaskCompleted));
+  const TraceSnapshot snapshot = session.recorder()->snapshot();
+  ASSERT_EQ(snapshot.events.size(), 3u);
+  EXPECT_EQ(snapshot.recorded, 3u);
+  EXPECT_EQ(snapshot.dropped, 0u);
+  // Sorted ascending by timestamp.
+  EXPECT_DOUBLE_EQ(snapshot.events[0].at, 1.0);
+  EXPECT_DOUBLE_EQ(snapshot.events[1].at, 2.0);
+  EXPECT_DOUBLE_EQ(snapshot.events[2].at, 3.0);
+  EXPECT_EQ(snapshot.events[0].kind, EventKind::kRequestSubmitted);
+}
+
+TEST(Trace, UninstalledOnSessionDestruction) {
+  {
+    Session session(trace_config());
+    EXPECT_NE(trace(), nullptr);
+  }
+  EXPECT_EQ(trace(), nullptr);
+  emit(event_at(1.0));  // must not touch the destroyed recorder
+}
+
+TEST(Trace, RingWrapKeepsNewestAndCountsDropped) {
+  Session session(trace_config(/*control=*/4));
+  for (int i = 0; i < 10; ++i) emit(event_at(static_cast<double>(i)));
+  const TraceSnapshot snapshot = session.recorder()->snapshot();
+  EXPECT_EQ(snapshot.recorded, 10u);
+  EXPECT_EQ(snapshot.dropped, 6u);
+  ASSERT_EQ(snapshot.events.size(), 4u);
+  EXPECT_DOUBLE_EQ(snapshot.events.front().at, 6.0);
+  EXPECT_DOUBLE_EQ(snapshot.events.back().at, 9.0);
+}
+
+TEST(Trace, HighFrequencyChannelCannotEvictControlEvents) {
+  Session session(trace_config(/*control=*/8, /*highfreq=*/4));
+  emit(event_at(0.0, EventKind::kGaRunStarted));
+  for (int i = 0; i < 100; ++i) {
+    emit(event_at(1.0 + i, EventKind::kCacheHit));
+  }
+  emit(event_at(200.0, EventKind::kGaRunFinished));
+  const TraceSnapshot snapshot = session.recorder()->snapshot();
+  // Both control events survive the cache-event flood.
+  int control = 0;
+  for (const TraceEvent& event : snapshot.events) {
+    if (event.kind == EventKind::kGaRunStarted ||
+        event.kind == EventKind::kGaRunFinished) {
+      ++control;
+    }
+  }
+  EXPECT_EQ(control, 2);
+  EXPECT_EQ(snapshot.dropped, 100u - 4u);
+}
+
+TEST(Trace, EachThreadGetsItsOwnRings) {
+  Session session(trace_config());
+  emit(event_at(1.0));
+  std::thread worker([] { emit(event_at(2.0, EventKind::kCacheMiss)); });
+  worker.join();
+  const TraceSnapshot snapshot = session.recorder()->snapshot();
+  EXPECT_EQ(snapshot.events.size(), 2u);
+  EXPECT_GE(session.recorder()->thread_count(), 2u);
+}
+
+TEST(Trace, SecondSessionStartsEmpty) {
+  {
+    Session first(trace_config());
+    emit(event_at(1.0));
+  }
+  // The thread-local ring cache must not leak events into a new recorder
+  // generation (epoch invalidation).
+  Session second(trace_config());
+  emit(event_at(7.0));
+  const TraceSnapshot snapshot = second.recorder()->snapshot();
+  ASSERT_EQ(snapshot.events.size(), 1u);
+  EXPECT_DOUBLE_EQ(snapshot.events[0].at, 7.0);
+}
+
+TEST(Trace, KindNamesAreStable) {
+  EXPECT_EQ(kind_name(EventKind::kCacheHit), "cache_hit");
+  EXPECT_EQ(kind_name(EventKind::kGaGeneration), "ga_generation");
+  EXPECT_EQ(kind_name(EventKind::kTaskSpan), "task_span");
+}
+
+}  // namespace
+}  // namespace gridlb::obs

@@ -14,7 +14,13 @@
 //       Run a custom campaign on the Fig. 7 grid; --trace renders one
 //       resource's executed Gantt chart.
 //
-// Everything runs in virtual time; identical flags give identical output.
+// Observability (experiment and campaign commands):
+//   --trace-out=FILE     Chrome trace-event JSON (open in Perfetto)
+//   --events-out=FILE    flat JSONL event dump
+//   --metrics-json=FILE  metrics-registry snapshot as JSON
+//
+// Everything runs in virtual time; identical flags give identical output,
+// and enabling tracing never changes results (DESIGN.md §9).
 
 #include <cstdio>
 #include <fstream>
@@ -24,6 +30,7 @@
 #include <vector>
 
 #include "common/flags.hpp"
+#include "common/log.hpp"
 #include "core/gridlb.hpp"
 #include "pace/model_parser.hpp"
 #include "report/csv.hpp"
@@ -93,6 +100,14 @@ int cmd_predict(const Flags& flags) {
   return 0;
 }
 
+/// Fills config.obs from --trace-out / --events-out / --metrics-json.
+/// Shared by the experiment and campaign commands.
+void apply_obs_flags(const Flags& flags, core::ExperimentConfig& config) {
+  config.obs.trace_out = flags.get("trace-out", "");
+  config.obs.events_out = flags.get("events-out", "");
+  config.obs.metrics_json_out = flags.get("metrics-json", "");
+}
+
 core::ExperimentConfig campaign_config(const Flags& flags) {
   core::ExperimentConfig config = core::experiment3();
   config.name = "campaign";
@@ -119,6 +134,7 @@ core::ExperimentConfig campaign_config(const Flags& flags) {
         config.workload.start +
         static_cast<double>(config.workload.count) * config.workload.interval;
   }
+  apply_obs_flags(flags, config);
   return config;
 }
 
@@ -133,12 +149,19 @@ int cmd_experiment(const Flags& flags) {
     return 1;
   }
   std::vector<core::ExperimentResult> results;
+  if (configs.size() > 1 &&
+      (flags.has("trace-out") || flags.has("events-out") ||
+       flags.has("metrics-json"))) {
+    log::warn("observability outputs with --id all: each experiment "
+              "overwrites the file; the last one wins");
+  }
   for (auto& config : configs) {
     config.workload.count = flags.get_int("requests", 600);
     config.workload.seed =
         static_cast<std::uint64_t>(flags.get_int("seed", 2003));
     config.ga.eval_threads = flags.get_int("eval-threads", 0);
-    std::fprintf(stderr, "running %s…\n", config.name.c_str());
+    apply_obs_flags(flags, config);
+    log::info("running ", config.name, "…");
     results.push_back(core::run_experiment(config));
   }
   if (flags.get_bool("csv", false)) {
@@ -210,6 +233,9 @@ Flags make_flags() {
   flags.declare("churn-mttr", "sec", "mean node repair time");
   flags.declare("csv", "", "emit CSV instead of tables");
   flags.declare("trace", "S1..S12", "render one resource's Gantt (campaign)");
+  flags.declare("trace-out", "file", "write Chrome trace-event JSON");
+  flags.declare("events-out", "file", "write flat JSONL event dump");
+  flags.declare("metrics-json", "file", "write metrics registry as JSON");
   flags.declare("app", "name", "paper application (predict)");
   flags.declare("model", "file", "PACE model file (predict)");
   flags.declare("hardware", "type", "platform name (predict)");
