@@ -21,8 +21,8 @@ using namespace gridlb;
 core::ExperimentResult run_with(double pull_period, bool push_on_dispatch) {
   core::ExperimentConfig config = core::experiment3();
   config.workload.count = 300;
-  config.pull_period = pull_period;
-  config.push_on_dispatch = push_on_dispatch;
+  config.system.pull_period = pull_period;
+  config.system.push_on_dispatch = push_on_dispatch;
   return core::run_experiment(config);
 }
 

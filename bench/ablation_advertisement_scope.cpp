@@ -20,8 +20,8 @@ void run(const char* label, agents::AdvertisementScope scope,
          double pull_period) {
   core::ExperimentConfig config = core::experiment3();
   config.workload.count = 300;
-  config.scope = scope;
-  config.pull_period = pull_period;
+  config.system.scope = scope;
+  config.system.pull_period = pull_period;
   const auto result = core::run_experiment(config);
 
   std::uint64_t escalations = 0;

@@ -42,7 +42,7 @@ int main() {
   }
   {
     core::ExperimentConfig config = core::experiment3();
-    config.scope = agents::AdvertisementScope::kTransitive;
+    config.system.scope = agents::AdvertisementScope::kTransitive;
     print_row("agents, transitive scope", core::run_experiment(config));
   }
   {

@@ -20,7 +20,7 @@ int main() {
   for (const auto objective : {sched::FifoObjective::kMinExecution,
                                sched::FifoObjective::kMinCompletion}) {
     core::ExperimentConfig config = core::experiment1();
-    config.fifo_objective = objective;
+    config.system.fifo_objective = objective;
     const auto result = core::run_experiment(config);
     std::printf("  %-16s %9.1f %8.1f %8.1f %10.0f\n",
                 objective == sched::FifoObjective::kMinExecution

@@ -20,11 +20,11 @@ using namespace gridlb;
 core::ExperimentResult run(double mtbf, double mttr, double poll) {
   core::ExperimentConfig config = core::experiment3();
   config.workload.count = 300;
-  config.churn.enabled = true;
-  config.churn.mtbf = mtbf;
-  config.churn.mttr = mttr;
-  config.churn.horizon = 900.0;
-  config.churn.poll_period = poll;
+  config.system.churn.enabled = true;
+  config.system.churn.mtbf = mtbf;
+  config.system.churn.mttr = mttr;
+  config.system.churn.horizon = 900.0;
+  config.system.churn.poll_period = poll;
   return core::run_experiment(config);
 }
 

@@ -22,7 +22,7 @@ void sweep(const char* label, core::ExperimentConfig base) {
               "met%");
   for (const double error : {0.0, 0.1, 0.2, 0.3, 0.5, 0.8}) {
     core::ExperimentConfig config = base;
-    config.prediction_error = error;
+    config.system.prediction_error = error;
     const auto result = core::run_experiment(config);
     const auto& total = result.report.total;
     const double met = total.tasks > 0

@@ -46,7 +46,7 @@ int main() {
               "msgs/agent", "local-only%", "beta%");
   for (const int agent_count : {3, 6, 12, 24, 48}) {
     core::ExperimentConfig config = core::experiment3();
-    config.resources = balanced_grid(agent_count);
+    config.system.resources = balanced_grid(agent_count);
     config.workload.count = agent_count * 25;  // constant load per resource
     const auto result = core::run_experiment(config);
 

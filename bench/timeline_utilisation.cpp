@@ -25,15 +25,7 @@ int main() {
     sim::Engine engine;
     metrics::MetricsCollector collector;
     const auto catalogue = pace::paper_catalogue();
-    agents::SystemConfig system_config;
-    system_config.resources = config.resources;
-    system_config.policy = config.policy;
-    system_config.fifo_objective = config.fifo_objective;
-    system_config.ga = config.ga;
-    system_config.discovery_enabled = config.agents_enabled;
-    system_config.pull_period = config.pull_period;
-    agents::AgentSystem system(engine, catalogue, std::move(system_config),
-                               &collector);
+    agents::AgentSystem system(engine, catalogue, config.system, &collector);
     system.start();
     agents::Portal portal(engine, system.network(), catalogue, &collector);
     const auto workload = core::generate_workload(

@@ -13,7 +13,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/gridlb.hpp"
+#include "gridlb.hpp"
 
 namespace {
 

@@ -13,7 +13,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/gridlb.hpp"
+#include "gridlb.hpp"
 
 namespace {
 

@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/gridlb.hpp"
+#include "gridlb.hpp"
 
 int main(int argc, char** argv) {
   using namespace gridlb;

@@ -9,8 +9,7 @@
 
 #include <cstdio>
 
-#include "core/gridlb.hpp"
-#include "pace/model_parser.hpp"
+#include "gridlb.hpp"
 
 namespace {
 

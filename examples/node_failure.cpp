@@ -11,8 +11,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/gridlb.hpp"
-#include "sched/resource_monitor.hpp"
+#include "gridlb.hpp"
 
 int main() {
   using namespace gridlb;

@@ -36,6 +36,16 @@ void CapabilityTable::advance_freetime(AgentId agent, SimTime now,
   }
 }
 
+std::size_t CapabilityTable::erase_involving(AgentId agent) {
+  const auto first = std::remove_if(
+      entries_.begin(), entries_.end(), [agent](const Entry& entry) {
+        return entry.agent == agent || entry.via == agent;
+      });
+  const auto removed = static_cast<std::size_t>(entries_.end() - first);
+  entries_.erase(first, entries_.end());
+  return removed;
+}
+
 const CapabilityTable::Entry* CapabilityTable::find(AgentId agent) const {
   for (const auto& entry : entries_) {
     if (entry.agent == agent) return &entry;

@@ -43,6 +43,19 @@ class CapabilityTable {
   /// Entry for `agent`, if any advertisement has been received.
   [[nodiscard]] const Entry* find(AgentId agent) const;
 
+  /// Removes every entry describing `agent` or routed through it — the
+  /// reaction to a suspected-dead neighbour (retry budget exhausted).
+  /// Returns the number of entries dropped.
+  std::size_t erase_involving(AgentId agent);
+
+  /// True when the entry is too old to trust: fault-tolerant discovery
+  /// skips entries not refreshed within `max_age` seconds (`max_age <= 0`
+  /// trusts everything, the pre-fault behaviour).
+  [[nodiscard]] static bool expired(const Entry& entry, SimTime now,
+                                    double max_age) {
+    return max_age > 0.0 && now - entry.updated_at > max_age;
+  }
+
   /// All entries, insertion order.
   [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
 

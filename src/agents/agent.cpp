@@ -20,11 +20,13 @@ Agent::Agent(sim::Engine& engine, sim::Network& network,
       evaluator_(evaluator),
       catalogue_(catalogue),
       config_(std::move(config)),
-      scheduler_(scheduler) {
+      scheduler_(scheduler),
+      link_(engine, network, config_.retry) {
   GRIDLB_REQUIRE(config_.id.valid(), "agent needs a valid id");
   endpoint_ = network_.register_endpoint(
       config_.address, config_.port,
       [this](const sim::Message& message) { on_message(message); });
+  link_.set_self(endpoint_);
 }
 
 void Agent::set_parent(Agent* parent) {
@@ -39,8 +41,50 @@ void Agent::add_child(Agent* child) {
 
 void Agent::start() {
   if (!config_.discovery_enabled || config_.pull_period <= 0.0) return;
-  engine_.schedule_periodic(0.0, config_.pull_period,
-                            [this]() { pull_from_neighbours(); });
+  pull_timer_ = engine_.schedule_periodic(0.0, config_.pull_period,
+                                          [this]() { pull_from_neighbours(); });
+}
+
+std::vector<TaskId> Agent::crash() {
+  GRIDLB_REQUIRE(alive_, "cannot crash a dead agent");
+  alive_ = false;
+  ++stats_.crashes;
+  network_.set_endpoint_up(endpoint_, false);
+  if (pull_timer_ != 0) {
+    engine_.cancel(pull_timer_);
+    pull_timer_ = 0;
+  }
+  act_ = CapabilityTable{};
+  pending_results_.clear();
+  obs::emit({.at = engine_.now(),
+             .kind = obs::EventKind::kAgentCrashed,
+             .resource = config_.id.value()});
+  log::warn("agent ", config_.name, " t=", engine_.now(), " crashed");
+  std::vector<TaskId> stranded = scheduler_.drain_pending();
+  // Requests this agent had forwarded but not yet seen acked die with it;
+  // without recovery they would be black holes (the sender's retries are
+  // gone too).  Results are not recovered: their execution already counted.
+  for (const std::string& payload : link_.reset()) {
+    const auto document = xml::parse(payload);
+    if (document->attribute("type") == "request") {
+      stranded.push_back(request_from_xml(payload).task);
+    }
+  }
+  return stranded;
+}
+
+void Agent::restart() {
+  GRIDLB_REQUIRE(!alive_, "cannot restart a live agent");
+  alive_ = true;
+  ++stats_.restarts;
+  network_.set_endpoint_up(endpoint_, true);
+  obs::emit({.at = engine_.now(),
+             .kind = obs::EventKind::kAgentRestarted,
+             .resource = config_.id.value()});
+  log::info("agent ", config_.name, " t=", engine_.now(), " restarted");
+  if (!config_.discovery_enabled || config_.pull_period <= 0.0) return;
+  pull_timer_ = engine_.schedule_periodic(
+      engine_.now(), config_.pull_period, [this]() { pull_from_neighbours(); });
 }
 
 ServiceInfo Agent::service_snapshot() const {
@@ -190,6 +234,9 @@ void Agent::receive_request(Request request, bool final_dispatch) {
   for (const auto& entry : act_.entries()) {
     if (entry.agent == config_.id) continue;
     if (already_visited(request, entry.agent)) continue;
+    if (CapabilityTable::expired(entry, engine_.now(), config_.act_expiry)) {
+      continue;  // neighbour stopped advertising — suspected dead
+    }
     Agent* route = neighbour_by_id(entry.via);
     if (route == nullptr) continue;
     if (const auto eta = estimate_completion(entry.info, request);
@@ -271,6 +318,9 @@ void Agent::receive_request(Request request, bool final_dispatch) {
     // Final dispatch executes at the recipient, so only services owned by
     // a direct neighbour qualify here.
     if (entry.via != entry.agent) continue;
+    if (CapabilityTable::expired(entry, engine_.now(), config_.act_expiry)) {
+      continue;
+    }
     Agent* neighbour = neighbour_by_id(entry.agent);
     if (neighbour == nullptr) continue;
     if (const auto eta = estimate_completion(entry.info, request);
@@ -332,6 +382,7 @@ void Agent::on_task_completed(const sched::CompletionRecord& record) {
         return pending.task == record.task;
       });
   if (it == pending_results_.end()) return;  // fire-and-forget submission
+  if (!alive_) return;  // the process that knew the origin died with it
 
   ExecutionResult result;
   result.task = record.task;
@@ -344,7 +395,7 @@ void Agent::on_task_completed(const sched::CompletionRecord& record) {
   const sim::EndpointId origin = it->origin;
   pending_results_.erase(it);
   ++stats_.results_sent;
-  network_.send(endpoint_, origin, to_xml(result));
+  link_.send(origin, to_xml(result));
 }
 
 void Agent::forward(Request request, Agent* to, bool final_dispatch) {
@@ -356,7 +407,34 @@ void Agent::forward(Request request, Agent* to, bool final_dispatch) {
     document->set_attribute("final", "1");
     payload = xml::write(*document);
   }
-  network_.send(endpoint_, to->endpoint(), payload);
+  link_.send(to->endpoint(), std::move(payload),
+             [this](sim::EndpointId dead, const std::string& lost) {
+               handle_send_failure(dead, lost);
+             });
+}
+
+void Agent::handle_send_failure(sim::EndpointId to, const std::string& payload) {
+  if (!alive_) return;  // crashed while the retries were in flight
+  const auto neighbour = neighbour_for_endpoint(to);
+  const auto document = xml::parse(payload);
+  const auto type = document->attribute("type");
+  if (neighbour) {
+    // Retry budget exhausted: distrust everything learned from or about
+    // that neighbour so discovery stops routing through it.
+    const std::size_t purged = act_.erase_involving(*neighbour);
+    log::warn("agent ", config_.name, " t=", engine_.now(), " neighbour ",
+              neighbour->str(), " unresponsive, purged ", purged,
+              " ACT entries");
+  }
+  if (type != "request") return;  // results are re-requested by the portal
+  Request request = request_from_xml(payload);
+  if (neighbour && !already_visited(request, *neighbour)) {
+    request.visited.push_back(*neighbour);
+  }
+  ++stats_.reroutes;
+  log::warn("agent ", config_.name, " t=", engine_.now(), " task ",
+            request.task.str(), " rerouting after delivery failure");
+  receive_request(std::move(request), false);
 }
 
 void Agent::pull_from_neighbours() {
@@ -388,6 +466,7 @@ void Agent::push_to_neighbours() {
 }
 
 void Agent::on_message(const sim::Message& message) {
+  if (link_.on_message(message) == ReliableLink::Inbound::kConsumed) return;
   const auto document = xml::parse(message.payload);
   GRIDLB_REQUIRE(document->name() == "agentgrid",
                  "unexpected message document: " + document->name());

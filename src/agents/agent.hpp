@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "agents/act.hpp"
+#include "agents/reliable.hpp"
 #include "agents/request.hpp"
 #include "agents/result.hpp"
 #include "agents/service_info.hpp"
@@ -80,6 +81,13 @@ struct AgentConfig {
   /// drop under strict_failure).  Transitive routing can legitimately
   /// revisit an agent, so the budget — not the visited set — bounds it.
   int max_hops = 32;
+  /// Reliable delivery of request/result documents (DESIGN.md §10).
+  /// Disabled: sends are byte-identical to the pre-fault protocol.
+  RetryPolicy retry;
+  /// ACT entries older than this many seconds are distrusted during
+  /// discovery (a neighbour that stopped advertising is suspected dead).
+  /// <= 0 trusts every entry forever — the pre-fault behaviour.
+  double act_expiry = 0.0;
 };
 
 /// Counters for the discovery/advertisement behaviour of one agent.
@@ -95,6 +103,12 @@ struct AgentStats {
   std::uint64_t hops_accumulated = 0;    ///< Σ hops of locally-dispatched reqs
   std::uint64_t zero_hop_dispatches = 0; ///< executed where they entered
   std::uint64_t results_sent = 0;        ///< result documents posted back
+  // Fault handling.
+  std::uint64_t crashes = 0;             ///< agent-churn process failures
+  std::uint64_t restarts = 0;
+  std::uint64_t reroutes = 0;            ///< forwards rerouted after retry
+                                         ///  exhaustion (neighbour suspected
+                                         ///  dead)
 };
 
 class Agent {
@@ -114,6 +128,19 @@ class Agent {
   /// Arms the periodic advertisement pull.
   void start();
 
+  /// Agent-churn process failure: the endpoint goes deaf, the pull timer
+  /// and in-flight retries die, and the ACT plus reply-routing state is
+  /// lost.  Tasks still *pending* (not yet started) on the local scheduler
+  /// die with the process and are returned so the portal can re-discover
+  /// them; tasks already executing run to completion on the resource.
+  [[nodiscard]] std::vector<TaskId> crash();
+
+  /// Recovery: the endpoint comes back up and advertisement restarts from
+  /// an empty ACT.
+  void restart();
+
+  [[nodiscard]] bool alive() const { return alive_; }
+
   /// Entry point for requests (from the portal, or locally generated).
   void receive_request(Request request, bool final_dispatch = false);
 
@@ -132,6 +159,7 @@ class Agent {
   }
   [[nodiscard]] sim::EndpointId endpoint() const { return endpoint_; }
   [[nodiscard]] const AgentStats& stats() const { return stats_; }
+  [[nodiscard]] const LinkStats& link_stats() const { return link_.stats(); }
   [[nodiscard]] const CapabilityTable& act() const { return act_; }
   [[nodiscard]] sched::LocalScheduler& scheduler() const { return scheduler_; }
 
@@ -154,6 +182,7 @@ class Agent {
   void on_message(const sim::Message& message);
   void handle_pull(const sim::Message& message);
   void handle_advertisement(const sim::Message& message);
+  void handle_send_failure(sim::EndpointId to, const std::string& payload);
   void pull_from_neighbours();
   void push_to_neighbours();
   void dispatch_local(Request request);
@@ -170,6 +199,9 @@ class Agent {
   const pace::ApplicationCatalogue& catalogue_;
   AgentConfig config_;
   sched::LocalScheduler& scheduler_;
+  ReliableLink link_;
+  bool alive_ = true;
+  sim::EventId pull_timer_ = 0;
   sim::EndpointId endpoint_ = 0;
   Agent* parent_ = nullptr;
   std::vector<Agent*> children_;

@@ -1,5 +1,7 @@
 #include "agents/agent_system.hpp"
 
+#include <cmath>
+
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 
@@ -12,7 +14,8 @@ AgentSystem::AgentSystem(sim::Engine& engine,
     : engine_(engine), config_(std::move(config)) {
   GRIDLB_REQUIRE(!config_.resources.empty(), "grid needs >= 1 resource");
 
-  network_ = std::make_unique<sim::Network>(engine_, config_.network_latency);
+  network_ = std::make_unique<sim::Network>(engine_, config_.network_latency,
+                                            config_.fault);
   engine_pace_ = std::make_unique<pace::EvaluationEngine>();
   evaluator_ = std::make_unique<pace::CachedEvaluator>(*engine_pace_);
 
@@ -65,6 +68,13 @@ AgentSystem::AgentSystem(sim::Engine& engine,
     agent_config.pull_period = config_.pull_period;
     agent_config.push_on_dispatch = config_.push_on_dispatch;
     agent_config.scope = config_.scope;
+    if (config_.fault_tolerance.enabled) {
+      agent_config.retry = config_.fault_tolerance.retry;
+      agent_config.retry.enabled = true;
+      agent_config.act_expiry =
+          static_cast<double>(config_.fault_tolerance.act_expiry_periods) *
+          config_.pull_period;
+    }
     agents_.push_back(std::make_unique<Agent>(
         engine_, *network_, *evaluator_, catalogue, std::move(agent_config),
         *schedulers_.back()));
@@ -95,6 +105,39 @@ AgentSystem::AgentSystem(sim::Engine& engine,
     agents_[i]->set_parent(agents_[static_cast<std::size_t>(parent)].get());
     agents_[static_cast<std::size_t>(parent)]->add_child(agents_[i].get());
   }
+
+  if (config_.agent_churn.enabled) schedule_agent_churn();
+}
+
+void AgentSystem::schedule_agent_churn() {
+  const AgentChurnConfig& churn = config_.agent_churn;
+  GRIDLB_REQUIRE(churn.mtbf > 0.0 && churn.mttr > 0.0,
+                 "agent churn needs positive mtbf and mttr");
+  Rng rng(churn.seed);
+  const auto exponential = [&rng](double mean) {
+    // Inverse-CDF sampling; 1 − u avoids log(0).
+    return -mean * std::log(1.0 - rng.next_double());
+  };
+  // Alternating up/down script per agent, fully drawn up-front so the
+  // schedule depends only on the churn seed (never on simulation events).
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    if (churn.protect_head && i == head_index_) continue;
+    SimTime t = 0.0;
+    while (true) {
+      t += exponential(churn.mtbf);
+      if (t >= churn.horizon) break;
+      engine_.schedule_at(t, [this, i]() { crash_agent(i); });
+      t += exponential(churn.mttr);
+      engine_.schedule_at(t, [this, i]() { agents_[i]->restart(); });
+    }
+  }
+}
+
+void AgentSystem::crash_agent(std::size_t index) {
+  const std::vector<TaskId> stranded = agents_[index]->crash();
+  for (const TaskId task : stranded) {
+    if (stranded_sink_) stranded_sink_(task);
+  }
 }
 
 void AgentSystem::start() {
@@ -112,11 +155,17 @@ const Agent& AgentSystem::agent(std::size_t index) const {
   return *agents_[index];
 }
 
-Agent& AgentSystem::agent_named(const std::string& name) {
+Agent* AgentSystem::find_agent(const std::string& name) {
   for (const auto& agent : agents_) {
-    if (agent->name() == name) return *agent;
+    if (agent->name() == name) return agent.get();
   }
-  GRIDLB_REQUIRE(false, "unknown agent name: " + name);
+  return nullptr;
+}
+
+Agent& AgentSystem::agent_named(const std::string& name) {
+  Agent* agent = find_agent(name);
+  GRIDLB_REQUIRE(agent != nullptr, "unknown agent name: " + name);
+  return *agent;
 }
 
 }  // namespace gridlb::agents

@@ -37,6 +37,30 @@ struct ChurnConfig {
   std::uint64_t seed = 7;
 };
 
+/// Loss tolerance for the agent protocol (DESIGN.md §10).  Disabled, the
+/// protocol is byte-identical to the lossless one.
+struct FaultToleranceConfig {
+  bool enabled = false;
+  /// Retry/timeout/backoff for request and result documents.
+  RetryPolicy retry;
+  /// An ACT entry missing this many advertisement periods is distrusted
+  /// during discovery (the neighbour is suspected dead).
+  int act_expiry_periods = 3;
+};
+
+/// Whole-agent process churn: crashes kill the agent's protocol state and
+/// its pending queue; restarts come back with an empty ACT.  Distinct from
+/// node-level ChurnConfig, which only removes processing nodes.
+struct AgentChurnConfig {
+  bool enabled = false;
+  double mtbf = 1800.0;     ///< mean agent up-time, seconds
+  double mttr = 30.0;       ///< mean process restart time, seconds
+  double horizon = 600.0;   ///< crashes generated until this time
+  /// Keep the hierarchy head alive (it is the portal's fallback entry).
+  bool protect_head = true;
+  std::uint64_t seed = 99;
+};
+
 struct SystemConfig {
   std::vector<ResourceSpec> resources;
   sched::SchedulerPolicy policy = sched::SchedulerPolicy::kGa;
@@ -51,6 +75,10 @@ struct SystemConfig {
   std::uint64_t seed = 42;         ///< per-scheduler GA seeds derive from it
   double prediction_error = 0.0;   ///< see LocalScheduler::Config
   ChurnConfig churn;
+  /// Deterministic network faults (drops, jitter, partitions).
+  sim::FaultPlan fault;
+  FaultToleranceConfig fault_tolerance;
+  AgentChurnConfig agent_churn;
 };
 
 class AgentSystem {
@@ -69,9 +97,17 @@ class AgentSystem {
   [[nodiscard]] std::size_t size() const { return agents_.size(); }
   [[nodiscard]] Agent& agent(std::size_t index);
   [[nodiscard]] const Agent& agent(std::size_t index) const;
+  /// Agent by name ("S3"); nullptr for unknown names.
+  [[nodiscard]] Agent* find_agent(const std::string& name);
   /// Agent by name ("S3"); throws for unknown names.
   [[nodiscard]] Agent& agent_named(const std::string& name);
   [[nodiscard]] Agent& head() { return agent(head_index_); }
+
+  /// Receiver for tasks stranded by an agent crash (pending on the dead
+  /// agent's scheduler, never started).  Typically the portal's resubmit.
+  void set_stranded_sink(std::function<void(TaskId)> sink) {
+    stranded_sink_ = std::move(sink);
+  }
 
   [[nodiscard]] sim::Network& network() { return *network_; }
   [[nodiscard]] pace::CachedEvaluator& evaluator() { return *evaluator_; }
@@ -83,8 +119,12 @@ class AgentSystem {
   }
 
  private:
+  void schedule_agent_churn();
+  void crash_agent(std::size_t index);
+
   sim::Engine& engine_;
   SystemConfig config_;
+  std::function<void(TaskId)> stranded_sink_;
   std::unique_ptr<sim::Network> network_;
   std::unique_ptr<pace::EvaluationEngine> engine_pace_;
   std::unique_ptr<pace::CachedEvaluator> evaluator_;

@@ -10,14 +10,16 @@ namespace gridlb::agents {
 
 Portal::Portal(sim::Engine& engine, sim::Network& network,
                const pace::ApplicationCatalogue& catalogue,
-               metrics::MetricsCollector* collector)
+               metrics::MetricsCollector* collector, RetryPolicy retry)
     : engine_(engine),
       network_(network),
       catalogue_(catalogue),
-      collector_(collector) {
+      collector_(collector),
+      link_(engine, network, retry) {
   endpoint_ = network_.register_endpoint(
       "portal.gridlb.sim", 80,
       [this](const sim::Message& message) { on_message(message); });
+  link_.set_self(endpoint_);
 }
 
 TaskId Portal::submit(Agent& entry, const std::string& app_name,
@@ -41,6 +43,9 @@ TaskId Portal::submit(Agent& entry, const std::string& app_name,
 
   submit_times_.resize(static_cast<std::size_t>(submitted_) + 1, kNoTime);
   submit_times_[static_cast<std::size_t>(submitted_)] = engine_.now();
+  submissions_.resize(static_cast<std::size_t>(submitted_) + 1);
+  submissions_[static_cast<std::size_t>(submitted_)] =
+      Submission{app_name, deadline, environment, email};
 
   if (collector_ != nullptr) collector_->on_submission(engine_.now());
   obs::emit({.at = engine_.now(),
@@ -48,11 +53,54 @@ TaskId Portal::submit(Agent& entry, const std::string& app_name,
              .task = request.task.value(),
              .resource = entry.id().value(),
              .a = deadline});
-  network_.send(endpoint_, entry.endpoint(), to_xml(request));
+  send_request(request, entry.endpoint());
   return request.task;
 }
 
+void Portal::resubmit(TaskId task) {
+  const auto value = static_cast<std::size_t>(task.value());
+  GRIDLB_REQUIRE(task.valid() && value < submissions_.size(),
+                 "resubmit of a task never submitted: " + task.str());
+  GRIDLB_REQUIRE(fallback_ != nullptr,
+                 "resubmission needs a fallback entry agent");
+  const Submission& original = submissions_[value];
+
+  // Same task id — the stranded submission never executed, so this is a
+  // re-discovery, not a new task (the collector saw the submission once).
+  Request request;
+  request.task = task;
+  request.app_name = original.app_name;
+  request.binary_file = "/gridlb/binary/" + original.app_name;
+  request.input_file = "/gridlb/binary/" + original.app_name + ".input";
+  request.model_name = "/gridlb/model/" + original.app_name;
+  request.environment = original.environment;
+  request.deadline = original.deadline;
+  request.email = original.email;
+  request.origin = endpoint_;
+
+  ++resubmitted_;
+  obs::emit({.at = engine_.now(),
+             .kind = obs::EventKind::kTaskResubmitted,
+             .task = task.value(),
+             .resource = fallback_->id().value(),
+             .a = original.deadline});
+  log::warn("portal t=", engine_.now(), " resubmitting task ", task.str(),
+            " through ", fallback_->name());
+  send_request(request, fallback_->endpoint());
+}
+
+void Portal::send_request(const Request& request, sim::EndpointId to) {
+  const TaskId task = request.task;
+  link_.send(to, to_xml(request),
+             [this, task](sim::EndpointId, const std::string&) {
+               // Entry unreachable after the full retry budget: route the
+               // task through the fallback instead of black-holing it.
+               if (fallback_ != nullptr) resubmit(task);
+             });
+}
+
 void Portal::on_message(const sim::Message& message) {
+  if (link_.on_message(message) == ReliableLink::Inbound::kConsumed) return;
   // The portal only ever receives result documents ("the task execution
   // results are sent directly back to the user").
   const auto document = xml::parse(message.payload);

@@ -22,10 +22,13 @@ namespace gridlb::agents {
 
 class Portal {
  public:
-  /// `collector` may be null.
+  /// `collector` may be null.  `retry` governs reliable delivery of the
+  /// request documents (and duplicate suppression of retransmitted
+  /// results); disabled, traffic is byte-identical to the lossless
+  /// protocol.
   Portal(sim::Engine& engine, sim::Network& network,
          const pace::ApplicationCatalogue& catalogue,
-         metrics::MetricsCollector* collector);
+         metrics::MetricsCollector* collector, RetryPolicy retry = {});
 
   /// Submits one request to `entry` now.  `deadline` is absolute
   /// simulation time.  Returns the assigned task id.
@@ -33,7 +36,19 @@ class Portal {
                 const std::string& environment = "test",
                 const std::string& email = "user@gridlb.sim");
 
+  /// Where requests go when their entry agent is unreachable or a crash
+  /// strands them: typically the (churn-protected) hierarchy head.
+  void set_fallback_entry(Agent* entry) { fallback_ = entry; }
+
+  /// Re-discovers a previously submitted task (same task id — the original
+  /// submission never executed) through the fallback entry.
+  void resubmit(TaskId task);
+
   [[nodiscard]] std::uint64_t requests_sent() const { return submitted_; }
+  [[nodiscard]] std::uint64_t tasks_resubmitted() const {
+    return resubmitted_;
+  }
+  [[nodiscard]] const LinkStats& link_stats() const { return link_.stats(); }
 
   /// One delivered execution result plus the user-visible turnaround
   /// (result delivery time − submission time, network latency included).
@@ -56,16 +71,28 @@ class Portal {
 
  private:
   void on_message(const sim::Message& message);
+  void send_request(const Request& request, sim::EndpointId to);
 
   sim::Engine& engine_;
   sim::Network& network_;
   const pace::ApplicationCatalogue& catalogue_;
   metrics::MetricsCollector* collector_;
+  ReliableLink link_;
   sim::EndpointId endpoint_;
+  Agent* fallback_ = nullptr;
   std::uint64_t submitted_ = 0;
+  std::uint64_t resubmitted_ = 0;
   std::vector<Outcome> outcomes_;
   /// Submission times by task id (dense: task ids are 1-based serials).
   std::vector<SimTime> submit_times_;
+  /// What was asked for, so a stranded task can be re-discovered.
+  struct Submission {
+    std::string app_name;
+    SimTime deadline = 0.0;
+    std::string environment;
+    std::string email;
+  };
+  std::vector<Submission> submissions_;
 };
 
 }  // namespace gridlb::agents

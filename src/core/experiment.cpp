@@ -19,15 +19,26 @@ namespace {
 
 ExperimentConfig base_experiment() {
   ExperimentConfig config;
-  config.resources = case_study_resources();
+  config.system.resources = case_study_resources();
   return config;
 }
 
 std::vector<std::string> resource_labels(const ExperimentConfig& config) {
   std::vector<std::string> names;
-  names.reserve(config.resources.size());
-  for (const auto& spec : config.resources) names.push_back(spec.name);
+  names.reserve(config.system.resources.size());
+  for (const auto& spec : config.system.resources) names.push_back(spec.name);
   return names;
+}
+
+/// The retry policy the system's links run under (disabled unless fault
+/// tolerance is on).
+agents::RetryPolicy effective_retry(const agents::SystemConfig& system) {
+  agents::RetryPolicy retry;
+  if (system.fault_tolerance.enabled) {
+    retry = system.fault_tolerance.retry;
+    retry.enabled = true;
+  }
+  return retry;
 }
 
 /// End-of-run registry population.  Histograms fill live during the run
@@ -73,6 +84,15 @@ void populate_registry(obs::MetricsRegistry& registry,
   registry.counter("agents.requests_forwarded").add(forwarded);
   registry.counter("agents.advertisements_received").add(advertisements);
   registry.counter("agents.pulls_sent").add(pulls);
+
+  registry.counter("net.messages_dropped").add(result.messages_dropped);
+  registry.counter("ft.retries").add(result.message_retries);
+  registry.counter("ft.sends_expired").add(result.sends_expired);
+  registry.counter("ft.duplicates_suppressed")
+      .add(result.duplicates_suppressed);
+  registry.counter("agents.crashes").add(result.agent_crashes);
+  registry.counter("agents.restarts").add(result.agent_restarts);
+  registry.counter("portal.tasks_resubmitted").add(result.tasks_resubmitted);
 }
 
 /// Scoped observability for one experiment run: installs the instruments
@@ -111,54 +131,42 @@ class ObsScope {
 ExperimentConfig experiment1() {
   ExperimentConfig config = base_experiment();
   config.name = "Experiment 1 (FIFO, no agents)";
-  config.policy = sched::SchedulerPolicy::kFifo;
-  config.agents_enabled = false;
+  config.system.policy = sched::SchedulerPolicy::kFifo;
+  config.system.discovery_enabled = false;
   return config;
 }
 
 ExperimentConfig experiment2() {
   ExperimentConfig config = base_experiment();
   config.name = "Experiment 2 (GA, no agents)";
-  config.policy = sched::SchedulerPolicy::kGa;
-  config.agents_enabled = false;
+  config.system.policy = sched::SchedulerPolicy::kGa;
+  config.system.discovery_enabled = false;
   return config;
 }
 
 ExperimentConfig experiment3() {
   ExperimentConfig config = base_experiment();
   config.name = "Experiment 3 (GA + agent discovery)";
-  config.policy = sched::SchedulerPolicy::kGa;
-  config.agents_enabled = true;
+  config.system.policy = sched::SchedulerPolicy::kGa;
+  config.system.discovery_enabled = true;
   return config;
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& config) {
-  GRIDLB_REQUIRE(!config.resources.empty(), "experiment needs resources");
+  GRIDLB_REQUIRE(!config.system.resources.empty(),
+                 "experiment needs resources");
 
   ObsScope obs_scope(config);
   sim::Engine engine;
   metrics::MetricsCollector collector;
   const pace::ApplicationCatalogue catalogue = pace::paper_catalogue();
 
-  agents::SystemConfig system_config;
-  system_config.resources = config.resources;
-  system_config.policy = config.policy;
-  system_config.fifo_objective = config.fifo_objective;
-  system_config.ga = config.ga;
-  system_config.discovery_enabled = config.agents_enabled;
-  system_config.strict_failure = config.strict_failure;
-  system_config.pull_period = config.pull_period;
-  system_config.push_on_dispatch = config.push_on_dispatch;
-  system_config.scope = config.scope;
-  system_config.network_latency = config.network_latency;
-  system_config.seed = config.system_seed;
-  system_config.prediction_error = config.prediction_error;
-  system_config.churn = config.churn;
-
-  agents::AgentSystem system(engine, catalogue, std::move(system_config),
-                             &collector);
+  agents::AgentSystem system(engine, catalogue, config.system, &collector);
   system.start();
-  agents::Portal portal(engine, system.network(), catalogue, &collector);
+  agents::Portal portal(engine, system.network(), catalogue, &collector,
+                        effective_retry(config.system));
+  portal.set_fallback_entry(&system.head());
+  system.set_stranded_sink([&portal](TaskId task) { portal.resubmit(task); });
 
   const std::vector<RequestSpec> workload = generate_workload(
       config.workload, catalogue, static_cast<int>(system.size()));
@@ -212,29 +220,41 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.mean_hops =
       executed > 0 ? static_cast<double>(hops) / static_cast<double>(executed)
                    : 0.0;
+
+  result.messages_dropped = system.network().fault_stats().dropped_total();
+  result.tasks_resubmitted = portal.tasks_resubmitted();
+  const auto tally_link = [&result](const agents::LinkStats& link) {
+    result.message_retries += link.retries;
+    result.sends_expired += link.expired;
+    result.duplicates_suppressed += link.duplicates_suppressed;
+  };
+  tally_link(portal.link_stats());
+  for (std::size_t i = 0; i < system.size(); ++i) {
+    tally_link(system.agent(i).link_stats());
+    result.agent_crashes += system.agent(i).stats().crashes;
+    result.agent_restarts += system.agent(i).stats().restarts;
+  }
   obs_scope.finish(result, system);
   return result;
 }
 
 ExperimentResult run_central_experiment(const ExperimentConfig& config) {
-  GRIDLB_REQUIRE(!config.resources.empty(), "experiment needs resources");
+  GRIDLB_REQUIRE(!config.system.resources.empty(),
+                 "experiment needs resources");
 
   ObsScope obs_scope(config);
   sim::Engine engine;
   metrics::MetricsCollector collector;
   const pace::ApplicationCatalogue catalogue = pace::paper_catalogue();
 
-  agents::SystemConfig system_config;
-  system_config.resources = config.resources;
-  system_config.policy = config.policy;
-  system_config.fifo_objective = config.fifo_objective;
-  system_config.ga = config.ga;
+  agents::SystemConfig system_config = config.system;
   system_config.discovery_enabled = false;  // agents stay out of the way
   system_config.pull_period = 0.0;
-  system_config.network_latency = config.network_latency;
-  system_config.seed = config.system_seed;
-  system_config.prediction_error = config.prediction_error;
-  system_config.churn = config.churn;
+  // The oracle bypasses the network entirely (submissions go straight to
+  // the schedulers), so the fault machinery has nothing to act on.
+  system_config.fault = {};
+  system_config.fault_tolerance = {};
+  system_config.agent_churn = {};
   agents::AgentSystem system(engine, catalogue, std::move(system_config),
                              &collector);
   system.start();

@@ -21,20 +21,12 @@ namespace gridlb::core {
 
 struct ExperimentConfig {
   std::string name;
-  std::vector<agents::ResourceSpec> resources;  ///< default: case study
-  sched::SchedulerPolicy policy = sched::SchedulerPolicy::kGa;
-  sched::FifoObjective fifo_objective = sched::FifoObjective::kMinExecution;
-  bool agents_enabled = true;
-  bool strict_failure = false;
-  sched::GaConfig ga;
+  /// The whole grid under test — resources, scheduling policy, discovery,
+  /// network faults, agent churn.  Embedded directly: a knob added to
+  /// agents::SystemConfig is immediately reachable from every experiment,
+  /// bench, and CLI flag without a mirror field here.
+  agents::SystemConfig system;
   WorkloadConfig workload;
-  double pull_period = 10.0;
-  bool push_on_dispatch = false;
-  agents::AdvertisementScope scope = agents::AdvertisementScope::kOwnService;
-  double network_latency = 0.05;
-  std::uint64_t system_seed = 42;
-  double prediction_error = 0.0;   ///< PACE prediction-accuracy study
-  agents::ChurnConfig churn;       ///< node failure/repair model
   /// Abort (with an assertion) if the grid has not drained by this time.
   SimTime horizon_limit = 48.0 * 3600.0;
   /// Observability: tracing/metrics instruments and their output files.
@@ -68,6 +60,14 @@ struct ExperimentResult {
   // Observability (zero unless config.obs enabled tracing).
   std::uint64_t trace_events = 0;      ///< events captured in the rings
   std::uint64_t trace_dropped = 0;     ///< events lost to ring wrap
+  // Fault handling (all zero when faults and fault tolerance are off).
+  std::uint64_t messages_dropped = 0;  ///< by the network fault plan
+  std::uint64_t message_retries = 0;   ///< retransmissions, all links
+  std::uint64_t sends_expired = 0;     ///< retry budgets exhausted
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t agent_crashes = 0;
+  std::uint64_t agent_restarts = 0;
+  std::uint64_t tasks_resubmitted = 0; ///< stranded tasks re-discovered
 };
 
 /// Runs one experiment to completion (all submitted tasks executed or

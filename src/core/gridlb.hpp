@@ -1,30 +1,7 @@
-// Umbrella header: the public API of the gridlb library.
-//
-// Include this to get the whole system — the PACE performance-prediction
-// toolkit, the GA/FIFO local schedulers, the agent hierarchy with service
-// advertisement/discovery, the metrics, and the case-study experiment
-// harness.  Individual module headers can be included directly for finer
-// control over compile times.
+// Compatibility shim: the umbrella header moved to the include root so
+// users write `#include "gridlb.hpp"` without naming an internal module.
 #pragma once
 
-#include "agents/agent.hpp"            // IWYU pragma: export
-#include "agents/agent_system.hpp"     // IWYU pragma: export
-#include "agents/portal.hpp"           // IWYU pragma: export
-#include "agents/request.hpp"          // IWYU pragma: export
-#include "agents/service_info.hpp"     // IWYU pragma: export
-#include "common/rng.hpp"              // IWYU pragma: export
-#include "common/types.hpp"            // IWYU pragma: export
-#include "core/case_study.hpp"         // IWYU pragma: export
-#include "core/experiment.hpp"         // IWYU pragma: export
-#include "core/workload.hpp"           // IWYU pragma: export
-#include "metrics/metrics.hpp"         // IWYU pragma: export
-#include "pace/application_model.hpp"  // IWYU pragma: export
-#include "pace/evaluation_engine.hpp"  // IWYU pragma: export
-#include "pace/hardware.hpp"           // IWYU pragma: export
-#include "pace/paper_applications.hpp" // IWYU pragma: export
-#include "sched/fifo_scheduler.hpp"    // IWYU pragma: export
-#include "sched/ga_scheduler.hpp"      // IWYU pragma: export
-#include "sched/local_scheduler.hpp"   // IWYU pragma: export
-#include "sim/engine.hpp"              // IWYU pragma: export
-#include "sim/network.hpp"             // IWYU pragma: export
-#include "xml/xml.hpp"                 // IWYU pragma: export
+// Relative path: a plain "gridlb.hpp" would resolve to this very file
+// (quoted includes search the including file's directory first).
+#include "../gridlb.hpp"  // IWYU pragma: export

@@ -33,6 +33,13 @@ std::string_view kind_name(EventKind kind) {
     case EventKind::kTaskSpan: return "task_span";
     case EventKind::kTaskCompleted: return "task_completed";
     case EventKind::kQueueDepth: return "queue_depth";
+    case EventKind::kMessageDropped: return "message_dropped";
+    case EventKind::kMessageRetry: return "message_retry";
+    case EventKind::kMessageExpired: return "message_expired";
+    case EventKind::kDuplicateSuppressed: return "duplicate_suppressed";
+    case EventKind::kAgentCrashed: return "agent_crashed";
+    case EventKind::kAgentRestarted: return "agent_restarted";
+    case EventKind::kTaskResubmitted: return "task_resubmitted";
   }
   return "unknown";
 }

@@ -58,6 +58,14 @@ enum class EventKind : std::uint8_t {
   kTaskCompleted,
   // Scheduler queue.
   kQueueDepth,         ///< pending-count sample after a queue change
+  // Fault injection & tolerance (DESIGN.md §10).
+  kMessageDropped,     ///< network loss: a=from b=to endpoint, extra=reason
+  kMessageRetry,       ///< reliable sender re-armed after an ack timeout
+  kMessageExpired,     ///< retry budget exhausted; sender gave up
+  kDuplicateSuppressed,///< at-least-once delivery deduplicated by msgid
+  kAgentCrashed,       ///< agent process failed (endpoint down)
+  kAgentRestarted,     ///< agent process came back (fresh ACT)
+  kTaskResubmitted,    ///< portal re-injected a task stranded on a crash
 };
 
 /// Short stable identifier ("ga_generation", "cache_hit", …) used by the

@@ -97,6 +97,18 @@ bool LocalScheduler::cancel(TaskId task) {
   return true;
 }
 
+std::vector<TaskId> LocalScheduler::drain_pending() {
+  std::vector<TaskId> drained;
+  drained.reserve(pending_.size());
+  for (const Task& task : pending_) drained.push_back(task.id);
+  pending_.clear();
+  if (!drained.empty()) {
+    log::warn("resource ", config_.resource_id.str(), " t=", engine_.now(),
+              " drained ", drained.size(), " pending tasks");
+  }
+  return drained;
+}
+
 void LocalScheduler::set_node_available(int node, bool up) {
   GRIDLB_REQUIRE(node >= 0 && node < config_.node_count,
                  "node index out of range");

@@ -99,6 +99,13 @@ class LocalScheduler {
   /// executing or was never submitted; running tasks cannot be recalled.
   bool cancel(TaskId task);
 
+  /// Removes every still-pending task at once — the local consequence of
+  /// an agent-process crash (DESIGN.md §10).  Running tasks are untouched
+  /// (they hold their nodes on the resource, not in the agent process).
+  /// Returns the ids of the drained tasks so the caller can re-discover
+  /// them.
+  [[nodiscard]] std::vector<TaskId> drain_pending();
+
   /// Resource-monitoring input: marks one processing node as available or
   /// unavailable.  Down nodes finish their current task (graceful drain)
   /// but receive no new work until they return; the GA re-optimises the

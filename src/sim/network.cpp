@@ -1,20 +1,65 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
+
 #include "common/assert.hpp"
+#include "obs/trace.hpp"
 
 namespace gridlb::sim {
 
-Network::Network(Engine& engine, double latency_seconds)
-    : engine_(engine), latency_(latency_seconds) {
+namespace {
+/// `extra` payload of a kMessageDropped trace event.
+enum DropReason : std::uint32_t {
+  kDropRandom = 0,
+  kDropPartition = 1,
+  kDropEndpointDown = 2,
+};
+}  // namespace
+
+Network::Network(Engine& engine, double latency_seconds, FaultPlan plan)
+    : engine_(engine), latency_(latency_seconds), plan_(std::move(plan)) {
   GRIDLB_REQUIRE(latency_seconds >= 0.0, "latency must be non-negative");
+  GRIDLB_REQUIRE(plan_.drop_prob >= 0.0 && plan_.drop_prob < 1.0,
+                 "drop probability must lie in [0, 1)");
+  GRIDLB_REQUIRE(plan_.jitter_max >= 0.0, "jitter must be non-negative");
+  for (const FaultPlan::Partition& partition : plan_.partitions) {
+    GRIDLB_REQUIRE(partition.until >= partition.from,
+                   "partition window must not end before it starts");
+  }
+  if (plan_.active()) fault_rng_.emplace(plan_.seed);
 }
 
 EndpointId Network::register_endpoint(std::string address, int port,
                                       Handler handler) {
   GRIDLB_REQUIRE(handler != nullptr, "endpoint handler must be set");
   endpoints_.push_back(
-      Endpoint{std::move(address), port, std::move(handler), {}});
+      Endpoint{std::move(address), port, std::move(handler), {}, true});
   return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+void Network::set_endpoint_up(EndpointId id, bool up) {
+  GRIDLB_REQUIRE(id < endpoints_.size(), "unknown endpoint");
+  endpoints_[id].up = up;
+}
+
+bool Network::endpoint_up(EndpointId id) const {
+  GRIDLB_REQUIRE(id < endpoints_.size(), "unknown endpoint");
+  return endpoints_[id].up;
+}
+
+bool Network::partitioned(EndpointId from, EndpointId to) const {
+  const SimTime now = engine_.now();
+  for (const FaultPlan::Partition& partition : plan_.partitions) {
+    if (now < partition.from || now >= partition.until) continue;
+    const auto inside = [&partition](const std::string& address) {
+      return std::find(partition.island.begin(), partition.island.end(),
+                       address) != partition.island.end();
+    };
+    if (inside(endpoints_[from].address) != inside(endpoints_[to].address)) {
+      return true;
+    }
+  }
+  return false;
 }
 
 void Network::send(EndpointId from, EndpointId to, std::string payload) {
@@ -26,15 +71,49 @@ void Network::send(EndpointId from, EndpointId to, std::string payload) {
   ++total_messages_;
   total_bytes_ += size;
 
+  double latency = latency_;
+  if (fault_rng_) {
+    if (partitioned(from, to)) {
+      ++fault_stats_.dropped_partition;
+      obs::emit({.at = engine_.now(),
+                 .kind = obs::EventKind::kMessageDropped,
+                 .extra = kDropPartition,
+                 .a = static_cast<double>(from),
+                 .b = static_cast<double>(to)});
+      return;
+    }
+    if (plan_.drop_prob > 0.0 && fault_rng_->chance(plan_.drop_prob)) {
+      ++fault_stats_.dropped_random;
+      obs::emit({.at = engine_.now(),
+                 .kind = obs::EventKind::kMessageDropped,
+                 .extra = kDropRandom,
+                 .a = static_cast<double>(from),
+                 .b = static_cast<double>(to)});
+      return;
+    }
+    if (plan_.jitter_max > 0.0) {
+      latency += fault_rng_->uniform(0.0, plan_.jitter_max);
+    }
+  }
+
   Message message;
   message.from = from;
   message.to = to;
   message.payload = std::move(payload);
   message.sent_at = engine_.now();
   engine_.schedule_in(
-      latency_, [this, message = std::move(message)]() mutable {
-        message.delivered_at = engine_.now();
+      latency, [this, message = std::move(message)]() mutable {
         Endpoint& destination = endpoints_[message.to];
+        if (!destination.up) {
+          ++fault_stats_.dropped_endpoint_down;
+          obs::emit({.at = engine_.now(),
+                     .kind = obs::EventKind::kMessageDropped,
+                     .extra = kDropEndpointDown,
+                     .a = static_cast<double>(message.from),
+                     .b = static_cast<double>(message.to)});
+          return;
+        }
+        message.delivered_at = engine_.now();
         destination.stats.messages_received += 1;
         destination.stats.bytes_received += message.payload.size();
         destination.handler(message);

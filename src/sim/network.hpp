@@ -7,14 +7,23 @@
 // discrete-event engine.  Message and byte counters support the
 // scalability ablation ("the system has no central structure which might
 // act as a potential bottleneck").
+//
+// Fault injection (DESIGN.md §10): an optional, seeded FaultPlan makes the
+// network unreliable — per-message Bernoulli loss, uniform latency jitter,
+// timed partitions, and per-endpoint outages (crashed agents).  All knobs
+// default to "perfect delivery"; with an inactive plan `send` performs no
+// RNG draws and the delivery schedule is bit-for-bit identical to a
+// network built without a plan.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "common/types.hpp"
 #include "sim/engine.hpp"
 
@@ -40,25 +49,73 @@ struct EndpointStats {
   std::uint64_t bytes_received = 0;
 };
 
+/// Deterministic network-fault model.  Faults are drawn from a dedicated
+/// seeded RNG stream in send order, so a fixed (plan, workload) pair
+/// yields the same losses and jitters on every run.
+struct FaultPlan {
+  /// Probability that any one message is silently lost in transit.
+  double drop_prob = 0.0;
+  /// Extra one-way delay, uniform in [0, jitter_max) seconds.
+  double jitter_max = 0.0;
+  std::uint64_t seed = 1;  ///< fault RNG stream (independent of workload)
+  /// A timed partition: while `from <= now < until`, messages crossing the
+  /// island boundary (one side's address inside `island`, the other's
+  /// outside) are dropped in both directions.
+  struct Partition {
+    std::vector<std::string> island;  ///< endpoint addresses on one side
+    SimTime from = 0.0;
+    SimTime until = 0.0;
+  };
+  std::vector<Partition> partitions;
+
+  /// True when any fault source is configured; an inactive plan keeps the
+  /// network on the perfect-delivery path (no RNG draws at all).
+  [[nodiscard]] bool active() const {
+    return drop_prob > 0.0 || jitter_max > 0.0 || !partitions.empty();
+  }
+};
+
+/// Injected-fault accounting, network-wide.
+struct FaultStats {
+  std::uint64_t dropped_random = 0;     ///< Bernoulli losses
+  std::uint64_t dropped_partition = 0;  ///< partition-window losses
+  std::uint64_t dropped_endpoint_down = 0;  ///< recipient was down
+  [[nodiscard]] std::uint64_t dropped_total() const {
+    return dropped_random + dropped_partition + dropped_endpoint_down;
+  }
+};
+
 class Network {
  public:
   using Handler = std::function<void(const Message&)>;
 
-  /// `latency` is the one-way delivery delay applied to every message.
-  Network(Engine& engine, double latency_seconds);
+  /// `latency` is the one-way delivery delay applied to every message;
+  /// `plan` (optional) injects deterministic faults on top of it.
+  Network(Engine& engine, double latency_seconds, FaultPlan plan = {});
 
   /// Registers an endpoint; `address`/`port` mirror the identity tuple the
   /// paper's documents carry.  The handler runs when a message arrives.
   EndpointId register_endpoint(std::string address, int port, Handler handler);
 
-  /// Queues `payload` for delivery to `to` after the network latency.
+  /// Queues `payload` for delivery to `to` after the network latency
+  /// (plus jitter).  Under an active fault plan the message may instead be
+  /// dropped; senders that need delivery guarantees must retry (see
+  /// agents::ReliableLink).
   void send(EndpointId from, EndpointId to, std::string payload);
+
+  /// Marks an endpoint up or down (a crashed agent process).  Messages
+  /// arriving at a down endpoint are dropped at delivery time, so traffic
+  /// already in flight when the endpoint fails is lost with it.
+  void set_endpoint_up(EndpointId id, bool up);
+  [[nodiscard]] bool endpoint_up(EndpointId id) const;
 
   [[nodiscard]] double latency() const { return latency_; }
   [[nodiscard]] std::size_t endpoint_count() const { return endpoints_.size(); }
   [[nodiscard]] const EndpointStats& stats(EndpointId id) const;
   [[nodiscard]] std::uint64_t total_messages() const { return total_messages_; }
   [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] const FaultPlan& fault_plan() const { return plan_; }
+  [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
 
   /// Identity lookup for serialising Fig. 5 / Fig. 6 documents.
   [[nodiscard]] const std::string& address(EndpointId id) const;
@@ -70,13 +127,22 @@ class Network {
     int port;
     Handler handler;
     EndpointStats stats;
+    bool up = true;
   };
+
+  /// True if a partition window currently separates the two endpoints.
+  [[nodiscard]] bool partitioned(EndpointId from, EndpointId to) const;
 
   Engine& engine_;
   double latency_;
+  FaultPlan plan_;
+  /// Engaged only while the plan is active, so the perfect-delivery path
+  /// never draws (and a plan-less network never pays for the state).
+  std::optional<Rng> fault_rng_;
   std::vector<Endpoint> endpoints_;
   std::uint64_t total_messages_ = 0;
   std::uint64_t total_bytes_ = 0;
+  FaultStats fault_stats_;
 };
 
 }  // namespace gridlb::sim

@@ -17,18 +17,18 @@ ExperimentConfig scaled(ExperimentConfig config, int requests) {
 
 TEST(ExperimentPresets, MatchTable2) {
   const auto e1 = experiment1();
-  EXPECT_EQ(e1.policy, sched::SchedulerPolicy::kFifo);
-  EXPECT_FALSE(e1.agents_enabled);
+  EXPECT_EQ(e1.system.policy, sched::SchedulerPolicy::kFifo);
+  EXPECT_FALSE(e1.system.discovery_enabled);
   const auto e2 = experiment2();
-  EXPECT_EQ(e2.policy, sched::SchedulerPolicy::kGa);
-  EXPECT_FALSE(e2.agents_enabled);
+  EXPECT_EQ(e2.system.policy, sched::SchedulerPolicy::kGa);
+  EXPECT_FALSE(e2.system.discovery_enabled);
   const auto e3 = experiment3();
-  EXPECT_EQ(e3.policy, sched::SchedulerPolicy::kGa);
-  EXPECT_TRUE(e3.agents_enabled);
+  EXPECT_EQ(e3.system.policy, sched::SchedulerPolicy::kGa);
+  EXPECT_TRUE(e3.system.discovery_enabled);
   for (const auto& config : {e1, e2, e3}) {
-    EXPECT_EQ(config.resources.size(), 12u);
+    EXPECT_EQ(config.system.resources.size(), 12u);
     EXPECT_EQ(config.workload.count, 600);
-    EXPECT_DOUBLE_EQ(config.pull_period, 10.0);
+    EXPECT_DOUBLE_EQ(config.system.pull_period, 10.0);
   }
 }
 
@@ -91,7 +91,7 @@ TEST(RunExperiment, AgentStatsCoverAllRequests) {
 
 TEST(RunExperiment, StrictModeDropsAreAccounted) {
   ExperimentConfig config = scaled(experiment3(), 40);
-  config.strict_failure = true;
+  config.system.strict_failure = true;
   const auto result = run_experiment(config);
   EXPECT_EQ(result.tasks_completed + result.tasks_dropped, 40u);
 }

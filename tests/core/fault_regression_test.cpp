@@ -1,0 +1,95 @@
+// Fault-model regression pins.
+//
+// Two guarantees from DESIGN.md §10 are pinned here:
+//   1. The zero-fault path is bit-for-bit identical to the pre-fault-model
+//      implementation: with `FaultPlan` inactive and fault tolerance
+//      disabled, experiments 1–3 and the central oracle reproduce the
+//      exact values recorded before the fault subsystem existed (the
+//      literals below).  Any change to these numbers means the fault
+//      machinery leaked into the perfect-delivery path.
+//   2. With faults enabled (message drop + agent churn), the grid degrades
+//      gracefully: every submitted task still completes — via retries,
+//      duplicate suppression and portal resubmission — and the fault
+//      counters account for the recovery work.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace gridlb::core {
+namespace {
+
+ExperimentConfig scaled(ExperimentConfig config, int requests) {
+  config.workload.count = requests;
+  return config;
+}
+
+struct Pin {
+  double advance_time;
+  double utilisation;
+  double balance;
+  double finished_at;
+  std::uint64_t network_messages;
+  std::uint64_t sim_events;
+  std::uint64_t tasks_completed;
+};
+
+void expect_pinned(const ExperimentResult& result, const Pin& pin) {
+  // EXPECT_EQ (not NEAR/DOUBLE_EQ): the contract is bit-for-bit.
+  EXPECT_EQ(result.report.total.advance_time, pin.advance_time);
+  EXPECT_EQ(result.report.total.utilisation, pin.utilisation);
+  EXPECT_EQ(result.report.total.balance, pin.balance);
+  EXPECT_EQ(result.finished_at, pin.finished_at);
+  EXPECT_EQ(result.network_messages, pin.network_messages);
+  EXPECT_EQ(result.sim_events, pin.sim_events);
+  EXPECT_EQ(result.tasks_completed, pin.tasks_completed);
+}
+
+// Captured from the implementation immediately before the fault subsystem
+// landed (40-request scaled runs of the Table 2 presets).
+TEST(ZeroFaultRegression, Experiment1MatchesPreFaultModel) {
+  expect_pinned(run_experiment(scaled(experiment1(), 40)),
+                {31.930228150000012, 0.32170412613217014, 0.34760632607291164,
+                 150.05000000000001, 80, 159, 40});
+}
+
+TEST(ZeroFaultRegression, Experiment2MatchesPreFaultModel) {
+  expect_pinned(run_experiment(scaled(experiment2(), 40)),
+                {34.085228150000013, 0.41933843471522581, 0.48157931187040892,
+                 130.05000000000001, 80, 221, 40});
+}
+
+TEST(ZeroFaultRegression, Experiment3MatchesPreFaultModel) {
+  expect_pinned(run_experiment(scaled(experiment3(), 40)),
+                {42.436478149999992, 0.53103311520920016, 0.60909669468947114,
+                 85.049999999999997, 492, 741, 40});
+}
+
+TEST(ZeroFaultRegression, CentralOracleMatchesPreFaultModel) {
+  expect_pinned(run_central_experiment(scaled(experiment3(), 40)),
+                {47.200228217807592, 0.53040994623655902, 0.40738605647678783,
+                 63.0, 0, 146, 40});
+}
+
+TEST(FaultedRegression, LossAndChurnDegradeGracefully) {
+  ExperimentConfig config = scaled(experiment3(), 60);
+  config.system.fault.drop_prob = 0.05;
+  config.system.fault.seed = 11;
+  config.system.fault_tolerance.enabled = true;
+  config.system.agent_churn.enabled = true;
+  config.system.agent_churn.mtbf = 40.0;  // harsh: several crashes per run
+  config.system.agent_churn.mttr = 5.0;
+  config.system.agent_churn.horizon = 200.0;
+
+  const ExperimentResult result = run_experiment(config);
+
+  // Graceful degradation: the grid loses messages and whole agents, yet
+  // every submitted task still completes exactly once.
+  EXPECT_EQ(result.tasks_completed, 60u);
+  EXPECT_GT(result.messages_dropped, 0u);
+  EXPECT_GT(result.message_retries, 0u);
+  EXPECT_GT(result.agent_crashes, 0u);
+  EXPECT_GT(result.agent_restarts, 0u);
+}
+
+}  // namespace
+}  // namespace gridlb::core

@@ -14,6 +14,10 @@
 //       Run a custom campaign on the Fig. 7 grid; --trace renders one
 //       resource's executed Gantt chart.
 //
+// Fault injection (experiment and campaign commands): --drop-prob,
+// --net-jitter, --agent-mtbf/--agent-mttr.  Any of these switches on the
+// loss-tolerant agent protocol (retries, ACT expiry, resubmission).
+//
 // Observability (experiment and campaign commands):
 //   --trace-out=FILE     Chrome trace-event JSON (open in Perfetto)
 //   --events-out=FILE    flat JSONL event dump
@@ -108,6 +112,28 @@ void apply_obs_flags(const Flags& flags, core::ExperimentConfig& config) {
   config.obs.metrics_json_out = flags.get("metrics-json", "");
 }
 
+/// Fills the fault plan and agent churn from --drop-prob / --net-jitter /
+/// --agent-mtbf / --agent-mttr.  Any injected fault switches the loss-
+/// tolerant protocol on (running lossy without it would black-hole
+/// tasks); all-defaults leaves the bit-for-bit lossless behaviour.
+void apply_fault_flags(const Flags& flags, core::ExperimentConfig& config) {
+  agents::SystemConfig& system = config.system;
+  system.fault.drop_prob = flags.get_double("drop-prob", 0.0);
+  system.fault.jitter_max = flags.get_double("net-jitter", 0.0);
+  const double mtbf = flags.get_double("agent-mtbf", 0.0);
+  if (mtbf > 0.0) {
+    system.agent_churn.enabled = true;
+    system.agent_churn.mtbf = mtbf;
+    system.agent_churn.mttr = flags.get_double("agent-mttr", 30.0);
+    system.agent_churn.horizon =
+        config.workload.start +
+        static_cast<double>(config.workload.count) * config.workload.interval;
+  }
+  if (system.fault.active() || system.agent_churn.enabled) {
+    system.fault_tolerance.enabled = true;
+  }
+}
+
 core::ExperimentConfig campaign_config(const Flags& flags) {
   core::ExperimentConfig config = core::experiment3();
   config.name = "campaign";
@@ -117,23 +143,24 @@ core::ExperimentConfig campaign_config(const Flags& flags) {
   const std::string policy = flags.get("policy", "ga");
   GRIDLB_REQUIRE(policy == "ga" || policy == "fifo",
                  "--policy must be ga or fifo");
-  config.policy = policy == "ga" ? sched::SchedulerPolicy::kGa
-                                 : sched::SchedulerPolicy::kFifo;
-  config.agents_enabled = flags.get_bool("agents", true);
-  config.ga.eval_threads = flags.get_int("eval-threads", 0);
-  GRIDLB_REQUIRE(config.ga.eval_threads >= 0,
+  config.system.policy = policy == "ga" ? sched::SchedulerPolicy::kGa
+                                        : sched::SchedulerPolicy::kFifo;
+  config.system.discovery_enabled = flags.get_bool("agents", true);
+  config.system.ga.eval_threads = flags.get_int("eval-threads", 0);
+  GRIDLB_REQUIRE(config.system.ga.eval_threads >= 0,
                  "--eval-threads must be >= 0 (0 = hardware concurrency)");
-  config.pull_period = flags.get_double("pull-period", 10.0);
-  config.prediction_error = flags.get_double("prediction-error", 0.0);
+  config.system.pull_period = flags.get_double("pull-period", 10.0);
+  config.system.prediction_error = flags.get_double("prediction-error", 0.0);
   const double mtbf = flags.get_double("churn-mtbf", 0.0);
   if (mtbf > 0.0) {
-    config.churn.enabled = true;
-    config.churn.mtbf = mtbf;
-    config.churn.mttr = flags.get_double("churn-mttr", 120.0);
-    config.churn.horizon =
+    config.system.churn.enabled = true;
+    config.system.churn.mtbf = mtbf;
+    config.system.churn.mttr = flags.get_double("churn-mttr", 120.0);
+    config.system.churn.horizon =
         config.workload.start +
         static_cast<double>(config.workload.count) * config.workload.interval;
   }
+  apply_fault_flags(flags, config);
   apply_obs_flags(flags, config);
   return config;
 }
@@ -159,7 +186,8 @@ int cmd_experiment(const Flags& flags) {
     config.workload.count = flags.get_int("requests", 600);
     config.workload.seed =
         static_cast<std::uint64_t>(flags.get_int("seed", 2003));
-    config.ga.eval_threads = flags.get_int("eval-threads", 0);
+    config.system.ga.eval_threads = flags.get_int("eval-threads", 0);
+    apply_fault_flags(flags, config);
     apply_obs_flags(flags, config);
     log::info("running ", config.name, "…");
     results.push_back(core::run_experiment(config));
@@ -180,8 +208,8 @@ int cmd_campaign(const Flags& flags) {
     // Render one resource's executed Gantt chart.
     const std::string name = flags.get("trace", "S1");
     int resource_index = -1;
-    for (std::size_t i = 0; i < config.resources.size(); ++i) {
-      if (config.resources[i].name == name) {
+    for (std::size_t i = 0; i < config.system.resources.size(); ++i) {
+      if (config.system.resources[i].name == name) {
         resource_index = static_cast<int>(i);
         break;
       }
@@ -199,8 +227,9 @@ int cmd_campaign(const Flags& flags) {
     }
     std::printf("%s — %zu executions\n", name.c_str(), records.size());
     std::cout << report::render_trace(
-        records, config.resources[static_cast<std::size_t>(resource_index)]
-                     .node_count);
+        records,
+        config.system.resources[static_cast<std::size_t>(resource_index)]
+            .node_count);
     return 0;
   }
   if (flags.get_bool("csv", false)) {
@@ -231,6 +260,10 @@ Flags make_flags() {
   flags.declare("prediction-error", "e", "actual = predicted × U[1−e,1+e]");
   flags.declare("churn-mtbf", "sec", "mean node up-time (0 = no churn)");
   flags.declare("churn-mttr", "sec", "mean node repair time");
+  flags.declare("drop-prob", "p", "message drop probability (0 = lossless)");
+  flags.declare("net-jitter", "sec", "max uniform extra message latency");
+  flags.declare("agent-mtbf", "sec", "mean agent up-time (0 = no crashes)");
+  flags.declare("agent-mttr", "sec", "mean agent restart time");
   flags.declare("csv", "", "emit CSV instead of tables");
   flags.declare("trace", "S1..S12", "render one resource's Gantt (campaign)");
   flags.declare("trace-out", "file", "write Chrome trace-event JSON");
