@@ -9,9 +9,17 @@
 // PACE evaluation engine."
 //
 // This bench reproduces the motivating arithmetic: it replays the GA's
-// evaluation request stream for a 20-task/50-individual population,
-// measures the cache hit rate, and projects the per-generation wall time
-// with and without the cache at the paper's 0.01 s/evaluation.
+// evaluation request stream for a 20-task/50-individual population and
+// projects the per-generation wall time with and without the caching
+// layers at the paper's 0.01 s/evaluation.
+//
+// Since DESIGN.md §11 the layer is two-deep: each GA run snapshots the
+// needed (application × nproc) predictions into a flat PredictionTable
+// (the only step that touches the sharded cache), and every per-task
+// prediction during evaluation is a lock-free table read.  The genotype
+// memo sits above both and skips re-evaluating repeated individuals
+// outright.  The paper's "cache absorbs the request stream" claim now
+// holds for the stack: engine invocations per request ≈ 0.
 
 #include <cstdio>
 
@@ -47,32 +55,41 @@ int main() {
 
   const auto& stats = cache.stats();
   const double raw_eval_seconds = 0.01;  // the paper's figure
-  const double lookups_per_generation =
-      static_cast<double>(stats.lookups()) / config.generations;
-  const double misses_per_generation =
-      static_cast<double>(stats.misses) / config.generations;
+  const double requests = static_cast<double>(result.table_reads);
+  const double requests_per_generation = requests / config.generations;
+  const double engine_per_generation =
+      static_cast<double>(engine.evaluations()) / config.generations;
+  const double absorbed =
+      requests == 0.0
+          ? 0.0
+          : 1.0 - static_cast<double>(engine.evaluations()) / requests;
 
   std::printf("GA evaluation stream: population %d, %d tasks, %d "
               "generations\n\n",
               config.population_size, static_cast<int>(tasks.size()),
               result.generations_run);
-  std::printf("  evaluation requests        : %llu (%.0f per generation)\n",
+  std::printf("  prediction requests        : %llu (%.0f per generation)\n",
+              static_cast<unsigned long long>(result.table_reads),
+              requests_per_generation);
+  std::printf("  served by table snapshot   : lock-free array reads\n");
+  std::printf("  snapshot builds (cache)    : %llu lookups, %llu distinct\n",
               static_cast<unsigned long long>(stats.lookups()),
-              lookups_per_generation);
-  std::printf("  distinct (cache misses)    : %llu\n",
               static_cast<unsigned long long>(stats.misses));
-  std::printf("  cache hit rate             : %.2f%%\n",
-              stats.hit_rate() * 100.0);
   std::printf("  engine invocations         : %llu\n",
               static_cast<unsigned long long>(engine.evaluations()));
+  std::printf("  evaluations skipped (memo) : %llu of %llu individuals\n",
+              static_cast<unsigned long long>(result.memo_hits),
+              static_cast<unsigned long long>(result.decodes +
+                                              result.memo_hits));
+  std::printf("  requests absorbed          : %.2f%%\n", absorbed * 100.0);
   std::printf("\nprojected PACE cost at %.2f s/evaluation (paper's figure):\n",
               raw_eval_seconds);
-  std::printf("  without cache : %6.2f s per generation\n",
-              lookups_per_generation * raw_eval_seconds);
-  std::printf("  with cache    : %6.2f s per generation (first generations "
-              "pay the misses)\n",
-              misses_per_generation * raw_eval_seconds);
-  std::printf("\n[%s] cache absorbs >90%% of GA evaluation requests\n",
-              stats.hit_rate() > 0.9 ? "PASS" : "FAIL");
+  std::printf("  without caching : %6.2f s per generation\n",
+              requests_per_generation * raw_eval_seconds);
+  std::printf("  with table+cache: %6.2f s per generation (the first "
+              "generation pays the snapshot)\n",
+              engine_per_generation * raw_eval_seconds);
+  std::printf("\n[%s] table+cache absorb >90%% of GA prediction requests\n",
+              absorbed > 0.9 ? "PASS" : "FAIL");
   return 0;
 }

@@ -57,6 +57,8 @@ void populate_registry(obs::MetricsRegistry& registry,
   registry.counter("pace.cache.hits").add(result.cache.hits);
   registry.counter("pace.cache.misses").add(result.cache.misses);
   registry.counter("ga.decodes").add(result.ga_decodes);
+  registry.counter("ga.memo_hits").add(result.ga_memo_hits);
+  registry.counter("pace.table.reads").add(result.table_reads);
   registry.gauge("pace.cache.hit_rate").set(result.cache.hit_rate());
   registry.gauge("discovery.mean_hops").set(result.mean_hops);
   registry.gauge("sim.finished_at").set(result.finished_at);
@@ -215,8 +217,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     hops += agent.stats().hops_accumulated;
     executed += agent.stats().dispatched_local;
     result.ga_decodes += agent.scheduler().ga_decodes();
+    result.ga_memo_hits += agent.scheduler().ga_memo_hits();
     result.fifo_subsets += agent.scheduler().fifo_subsets_tried();
+    result.table_reads += agent.scheduler().prediction_table_reads();
   }
+  // Layered stats: fold the lock-free table reads into the cache's hits so
+  // `cache` keeps describing all prediction traffic (see ExperimentResult).
+  result.cache.hits += result.table_reads;
   result.mean_hops =
       executed > 0 ? static_cast<double>(hops) / static_cast<double>(executed)
                    : 0.0;
@@ -323,8 +330,11 @@ ExperimentResult run_central_experiment(const ExperimentConfig& config) {
   for (std::size_t i = 0; i < system.size(); ++i) {
     result.agent_stats.push_back(system.agent(i).stats());
     result.ga_decodes += system.agent(i).scheduler().ga_decodes();
+    result.ga_memo_hits += system.agent(i).scheduler().ga_memo_hits();
     result.fifo_subsets += system.agent(i).scheduler().fifo_subsets_tried();
+    result.table_reads += system.agent(i).scheduler().prediction_table_reads();
   }
+  result.cache.hits += result.table_reads;
   obs_scope.finish(result, system);
   return result;
 }

@@ -52,8 +52,15 @@ struct ExperimentResult {
   double mean_hops = 0.0;              ///< forwards per executed request
   std::uint64_t network_messages = 0;
   std::uint64_t network_bytes = 0;
+  /// Layered prediction-lookup statistics (DESIGN.md §11): per-scheduler
+  /// prediction-table reads are folded into `hits` — a table read is a
+  /// lookup the sharded cache would have served from memory — so `cache`
+  /// keeps describing the full prediction traffic; `table_reads` breaks
+  /// out the lock-free share.
   pace::CacheStats cache;
+  std::uint64_t table_reads = 0;
   std::uint64_t ga_decodes = 0;
+  std::uint64_t ga_memo_hits = 0;  ///< evaluations skipped by genotype memo
   std::uint64_t fifo_subsets = 0;
   std::uint64_t sim_events = 0;
   SimTime finished_at = 0.0;           ///< virtual time of the last event

@@ -17,6 +17,41 @@ double EvaluationEngine::evaluate(const ApplicationModel& app,
   return app.reference_time(nproc) * resource.factor;
 }
 
+void PredictionTable::reset(ResourceModel resource, int max_nproc) {
+  GRIDLB_REQUIRE(max_nproc >= 1, "prediction table width must be >= 1");
+  resource_ = resource;
+  max_nproc_ = max_nproc;
+  apps_.clear();
+  values_.clear();
+}
+
+const double* PredictionTable::ensure_row(CachedEvaluator& cache,
+                                          const ApplicationModel& app) {
+  GRIDLB_REQUIRE(max_nproc_ >= 1, "prediction table not reset");
+  if (const double* row = row_of(app)) return row;
+  const std::size_t offset = values_.size();
+  values_.resize(offset + static_cast<std::size_t>(max_nproc_));
+  for (int k = 1; k <= max_nproc_; ++k) {
+    values_[offset + static_cast<std::size_t>(k - 1)] =
+        cache.evaluate(app, resource_, k);
+  }
+  apps_.push_back(&app);
+  ++rows_built_;
+  return values_.data() + offset;
+}
+
+const double* PredictionTable::row_of(const ApplicationModel& app) const {
+  // Linear scan: a pending queue draws from a handful of distinct models
+  // (the case study has 7), so this beats any hash both in cycles and in
+  // determinism of layout.
+  for (std::size_t i = 0; i < apps_.size(); ++i) {
+    if (apps_[i] == &app) {
+      return values_.data() + i * static_cast<std::size_t>(max_nproc_);
+    }
+  }
+  return nullptr;
+}
+
 std::size_t CachedEvaluator::KeyHash::operator()(const Key& key) const {
   std::size_t h = std::hash<const void*>{}(key.app);
   const auto mix = [&h](std::size_t v) {

@@ -64,6 +64,57 @@ struct CacheStats {
   }
 };
 
+class CachedEvaluator;
+
+/// Flat per-run snapshot of predictions — the lock-free layer in front of
+/// the sharded cache.
+///
+/// A scheduler's inner loop only ever asks for t_x(σ, ρ) with σ drawn from
+/// the handful of distinct applications in its pending queue and |ρ| in
+/// [1, node_count]: a 16-node resource running the 7 case-study codes has
+/// 112 distinct predictions.  `ensure_row` materialises one application's
+/// whole row (k = 1..max_nproc) through the CachedEvaluator — paying the
+/// shard locks once, at snapshot time — after which every hot-path lookup
+/// is pure array indexing on the returned row: no locks, no hashing, no
+/// allocation.
+///
+/// Not thread-safe for mutation: build rows on one thread (the snapshot
+/// phase), then share the table read-only with any number of readers.
+/// `ensure_row` for a *new* application may grow the backing storage and
+/// invalidate previously returned row pointers — take row pointers only
+/// after every row is built (or re-fetch per use, as FifoScheduler does).
+class PredictionTable {
+ public:
+  PredictionTable() = default;
+
+  /// Drops all rows and fixes the resource and row width for the next
+  /// run.  Capacity is retained, so a table reset and refilled with a
+  /// similar application mix performs no allocations.
+  void reset(ResourceModel resource, int max_nproc);
+
+  /// Row of predictions for `app`: row[k-1] = t_x(app, k nodes) for k in
+  /// [1, max_nproc], values read through `cache` (bit-identical to direct
+  /// cache lookups).  Builds the row on first sight of `app`.
+  const double* ensure_row(CachedEvaluator& cache, const ApplicationModel& app);
+
+  /// Row for an application already materialised via `ensure_row`, or
+  /// nullptr.  Const and lock-free; safe from any thread once building is
+  /// done.
+  [[nodiscard]] const double* row_of(const ApplicationModel& app) const;
+
+  [[nodiscard]] int max_nproc() const { return max_nproc_; }
+  [[nodiscard]] std::size_t app_count() const { return apps_.size(); }
+  /// Total rows materialised over the table's lifetime (across resets).
+  [[nodiscard]] std::uint64_t rows_built() const { return rows_built_; }
+
+ private:
+  ResourceModel resource_{};
+  int max_nproc_ = 0;
+  std::vector<const ApplicationModel*> apps_;  ///< row order
+  std::vector<double> values_;                 ///< row-major, apps × width
+  std::uint64_t rows_built_ = 0;
+};
+
 /// Demand-driven cache in front of an EvaluationEngine.
 ///
 /// Keys on (application identity, resource type+factor, nproc).  The
@@ -79,6 +130,15 @@ class CachedEvaluator {
 
   double evaluate(const ApplicationModel& app, const ResourceModel& resource,
                   int nproc);
+
+  /// Snapshot API: (re)builds `table` over `resource` with rows of width
+  /// `max_nproc`, ready for `PredictionTable::ensure_row` calls.  Sugar
+  /// over `table.reset` that keeps the call site on the cache, mirroring
+  /// where the data comes from.
+  void snapshot(PredictionTable& table, ResourceModel resource,
+                int max_nproc) {
+    table.reset(resource, max_nproc);
+  }
 
   /// Aggregated snapshot over all shards.
   [[nodiscard]] CacheStats stats() const;

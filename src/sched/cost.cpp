@@ -6,7 +6,7 @@
 
 namespace gridlb::sched {
 
-double cost_value(const DecodedSchedule& schedule, const CostWeights& weights) {
+double cost_value(const ScheduleMetrics& schedule, const CostWeights& weights) {
   GRIDLB_REQUIRE(weights.makespan >= 0.0 && weights.idle >= 0.0 &&
                      weights.deadline >= 0.0 && weights.flowtime >= 0.0,
                  "cost weights must be non-negative");

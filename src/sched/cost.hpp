@@ -31,8 +31,10 @@ struct CostWeights {
   double flowtime = 1.0;  ///< W_f (reproduction extension; 0 = literal eq. 8)
 };
 
-/// Cost value f_c of one decoded schedule (lower is better).
-[[nodiscard]] double cost_value(const DecodedSchedule& schedule,
+/// Cost value f_c of one decoded schedule (lower is better).  Takes the
+/// metrics slice so the GA's metrics-only evaluate() path can be costed
+/// without a full DecodedSchedule.
+[[nodiscard]] double cost_value(const ScheduleMetrics& schedule,
                                 const CostWeights& weights);
 
 /// Dynamic scaling of a population's costs to fitness values in [0, 1]

@@ -16,6 +16,7 @@ FifoScheduler::FifoScheduler(pace::CachedEvaluator& evaluator,
       objective_(objective) {
   GRIDLB_REQUIRE(node_count >= 1 && node_count <= kMaxNodesPerResource,
                  "node count out of range");
+  evaluator_->snapshot(table_, resource_, node_count_);
 }
 
 FifoPlacement FifoScheduler::place(const Task& task,
@@ -37,13 +38,12 @@ FifoPlacement FifoScheduler::place(const Task& task,
     free[static_cast<std::size_t>(i)] =
         std::max(node_free[static_cast<std::size_t>(i)], now);
   }
-  // One PACE evaluation per processor count; the subset loop then only
-  // combines cached values (mirroring the evaluation-cache layer).
-  std::array<double, kMaxNodesPerResource + 1> exec_time{};
-  for (int k = 1; k <= node_count_; ++k) {
-    exec_time[static_cast<std::size_t>(k)] =
-        evaluator_->evaluate(*task.app, resource_, k);
-  }
+  // One prediction row per application, materialised through the cache on
+  // first sight and then reused lock-free; the subset loop only combines
+  // row values.  Re-fetched per place() because a new application's row
+  // build may relocate the table's storage.
+  const double* exec_row = table_.ensure_row(*evaluator_, *task.app);
+  table_reads_ += static_cast<std::uint64_t>(node_count_);
 
   FifoPlacement best;
   double best_exec = 0.0;
@@ -57,7 +57,7 @@ FifoPlacement FifoScheduler::place(const Task& task,
     for_each_node(mask, [&](int node) {
       start = std::max(start, free[static_cast<std::size_t>(node)]);
     });
-    const double exec = exec_time[static_cast<std::size_t>(node_count(mask))];
+    const double exec = exec_row[node_count(mask) - 1];
     const SimTime end = start + exec;
     bool better;
     if (objective_ == FifoObjective::kMinExecution) {

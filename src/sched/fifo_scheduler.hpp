@@ -64,13 +64,22 @@ class FifoScheduler {
 
   /// Total subsets enumerated so far (2^n − 1 per placed task).
   [[nodiscard]] std::uint64_t subsets_tried() const { return subsets_tried_; }
+  /// Prediction-table reads so far (one per processor count per placed
+  /// task — the lock-free lookups that replace per-place cache queries).
+  [[nodiscard]] std::uint64_t table_reads() const { return table_reads_; }
 
  private:
   pace::CachedEvaluator* evaluator_;
   pace::ResourceModel resource_;
   int node_count_;
   FifoObjective objective_;
+  /// Per-scheduler prediction snapshot: rows build lazily as new
+  /// applications arrive and persist across place() calls, so the 2^n−1
+  /// subset sweep (and repeat arrivals of the same code) never touches
+  /// the evaluation cache's shard locks.
+  pace::PredictionTable table_;
   std::uint64_t subsets_tried_ = 0;
+  std::uint64_t table_reads_ = 0;
 };
 
 }  // namespace gridlb::sched

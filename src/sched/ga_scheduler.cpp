@@ -9,6 +9,60 @@
 
 namespace gridlb::sched {
 
+void GenotypeMemo::begin_run(std::size_t expected) {
+  ++epoch_;
+  std::size_t want = 16;
+  while (want < expected * 2) want <<= 1;
+  if (entries_.size() < want) entries_.assign(want, Entry{});
+  live_ = 0;
+}
+
+const GenotypeMemo::Entry* GenotypeMemo::find(
+    const SolutionString::Fingerprint& fp) const {
+  if (entries_.empty()) return nullptr;
+  const std::size_t mask = entries_.size() - 1;
+  // Load factor ≤ 0.5 guarantees the probe chain hits a dead slot.
+  for (std::size_t i = static_cast<std::size_t>(fp.lo) & mask;;
+       i = (i + 1) & mask) {
+    const Entry& entry = entries_[i];
+    if (entry.epoch != epoch_) return nullptr;  // dead slot ends the chain
+    if (entry.fp == fp) return &entry;
+  }
+}
+
+void GenotypeMemo::insert(const SolutionString::Fingerprint& fp, double cost,
+                          const ScheduleMetrics& metrics) {
+  GRIDLB_REQUIRE(!entries_.empty(), "memo used before begin_run");
+  if ((live_ + 1) * 2 > entries_.size()) grow();
+  const std::size_t mask = entries_.size() - 1;
+  for (std::size_t i = static_cast<std::size_t>(fp.lo) & mask;;
+       i = (i + 1) & mask) {
+    Entry& entry = entries_[i];
+    if (entry.epoch != epoch_) {
+      entry = Entry{fp, cost, metrics, epoch_};
+      ++live_;
+      return;
+    }
+    if (entry.fp == fp) return;  // already present; values are identical
+  }
+}
+
+void GenotypeMemo::grow() {
+  std::vector<Entry> old = std::move(entries_);
+  entries_.assign(old.size() * 2, Entry{});
+  const std::size_t mask = entries_.size() - 1;
+  for (const Entry& entry : old) {
+    if (entry.epoch != epoch_) continue;
+    for (std::size_t i = static_cast<std::size_t>(entry.fp.lo) & mask;;
+         i = (i + 1) & mask) {
+      if (entries_[i].epoch != epoch_) {
+        entries_[i] = entry;
+        break;
+      }
+    }
+  }
+}
+
 GaScheduler::GaScheduler(ScheduleBuilder& builder, GaConfig config,
                          std::uint64_t seed)
     : builder_(&builder), config_(config), rng_(seed) {
@@ -27,6 +81,8 @@ GaScheduler::GaScheduler(ScheduleBuilder& builder, GaConfig config,
   // Never spin up more chunks than the population can fill.
   const int useful = std::min(threads, config_.population_size);
   if (useful > 1) pool_ = std::make_unique<ThreadPool>(useful);
+  scratches_.resize(static_cast<std::size_t>(pool_ ? pool_->size() : 1));
+  decode_slots_.resize(scratches_.size());
 }
 
 void GaScheduler::sync_population(std::span<const Task> tasks) {
@@ -103,7 +159,7 @@ SolutionString GaScheduler::greedy_seed(std::span<const Task> tasks,
                                         std::span<const SimTime> node_free,
                                         SimTime now, NodeMask available,
                                         bool deadline_order,
-                                        bool efficient) const {
+                                        bool efficient) {
   const int m = static_cast<int>(tasks.size());
   const int nodes = builder_->node_count();
   std::vector<int> order(static_cast<std::size_t>(m));
@@ -141,8 +197,8 @@ SolutionString GaScheduler::greedy_seed(std::span<const Task> tasks,
       const SimTime start =
           free[static_cast<std::size_t>(by_free[static_cast<std::size_t>(
               k - 1)])];
-      const double exec = builder_->evaluator().evaluate(
-          *task.app, builder_->resource(), k);
+      const double exec = context_.exec_time(t, k);
+      ++scratches_[0].table_reads;
       const SimTime end = start + exec;
       bool better;
       if (efficient) {
@@ -189,6 +245,11 @@ GaResult GaScheduler::optimize(std::span<const Task> tasks,
                                SimTime now, NodeMask available) {
   GRIDLB_REQUIRE(valid_mask(available, builder_->node_count()),
                  "optimize needs at least one available node");
+  // Snapshot phase: the only part of the run that touches the evaluation
+  // cache's shard locks.  Everything downstream (greedy seeds included)
+  // reads predictions from the table.
+  builder_->prepare(context_, tasks, node_free, now, available);
+  for (DecodeScratch& scratch : scratches_) scratch.table_reads = 0;
   sync_population(tasks);
   const bool constrained = available != full_mask(builder_->node_count());
   if (constrained) {
@@ -213,63 +274,112 @@ GaResult GaScheduler::optimize(std::span<const Task> tasks,
   GaResult result;
   if (tasks.empty()) {
     result.best = SolutionString({}, {}, builder_->node_count());
-    result.schedule = builder_->decode(tasks, result.best, node_free, now);
+    result.schedule = builder_->decode(context_, result.best, scratches_[0]);
+    result.table_reads = scratches_[0].table_reads;
+    total_table_reads_ += result.table_reads;
     return result;
   }
 
   const int n = config_.population_size;
-  std::vector<double> costs(static_cast<std::size_t>(n));
-  std::vector<DecodedSchedule> decoded(static_cast<std::size_t>(n));
+  costs_.assign(static_cast<std::size_t>(n), 0.0);
+  metrics_.assign(static_cast<std::size_t>(n), ScheduleMetrics{});
+  memo_.begin_run(static_cast<std::size_t>(n) *
+                  static_cast<std::size_t>(config_.generations));
 
   // Per-slot decode counters: chunks accumulate into their own slot and
   // the main thread reduces after the join, so the count (and everything
   // else in GaResult) is independent of thread scheduling.
-  std::vector<std::uint64_t> decode_slots(
-      static_cast<std::size_t>(pool_ ? pool_->size() : 1));
+  decode_slots_.assign(scratches_.size(), 0);
   const auto evaluate_chunk = [&](int begin, int end, int slot) {
-    for (int k = begin; k < end; ++k) {
-      decoded[static_cast<std::size_t>(k)] =
-          builder_->decode(tasks, population_[static_cast<std::size_t>(k)],
-                           node_free, now, available);
-      costs[static_cast<std::size_t>(k)] =
-          cost_value(decoded[static_cast<std::size_t>(k)], config_.weights);
-      ++decode_slots[static_cast<std::size_t>(slot)];
+    DecodeScratch& scratch = scratches_[static_cast<std::size_t>(slot)];
+    for (int i = begin; i < end; ++i) {
+      const auto k =
+          static_cast<std::size_t>(eval_list_[static_cast<std::size_t>(i)]
+                                       .index);
+      metrics_[k] = builder_->evaluate(context_, population_[k], scratch);
+      costs_[k] = cost_value(metrics_[k], config_.weights);
+      ++decode_slots_[static_cast<std::size_t>(slot)];
     }
   };
 
   bool have_best = false;
   result.generations.reserve(static_cast<std::size_t>(config_.generations));
   for (int generation = 0; generation < config_.generations; ++generation) {
-    // Evaluate.  Only this phase runs on the pool: each individual's
-    // decode and cost are pure (the evaluation cache is thread-safe and
-    // memoises a pure function), so the contents of `decoded` and `costs`
-    // do not depend on the interleaving.  Selection, crossover and
-    // mutation below stay on this thread and consume `rng_` in the
-    // serial order.
-    if (pool_) {
-      pool_->parallel_for(n, evaluate_chunk);
-    } else {
-      evaluate_chunk(0, n, 0);
+    // Triage on the main thread: memo hits and within-generation
+    // duplicates resolve without evaluation; only genuinely new genotypes
+    // reach the pool.  The triage consumes no randomness and depends only
+    // on population contents, so every eval_threads value sees the same
+    // eval list and the same counters.
+    eval_list_.clear();
+    fanout_.clear();
+    for (int k = 0; k < n; ++k) {
+      const SolutionString::Fingerprint fp =
+          population_[static_cast<std::size_t>(k)].fingerprint();
+      if (const GenotypeMemo::Entry* hit = memo_.find(fp)) {
+        costs_[static_cast<std::size_t>(k)] = hit->cost;
+        metrics_[static_cast<std::size_t>(k)] = hit->metrics;
+        ++result.memo_hits;
+        continue;
+      }
+      int rep = -1;
+      for (const EvalItem& item : eval_list_) {
+        if (item.fp == fp) {
+          rep = item.index;
+          break;
+        }
+      }
+      if (rep >= 0) {
+        fanout_.push_back(Fanout{k, rep});
+      } else {
+        eval_list_.push_back(EvalItem{fp, k});
+      }
     }
-    // Track the best-ever individual.
-    const auto best_it = std::min_element(costs.begin(), costs.end());
+
+    // Evaluate.  Only this phase runs on the pool: each individual's
+    // metrics and cost are pure functions of its genome and the prepared
+    // context, so the contents of `metrics_` and `costs_` do not depend
+    // on the interleaving.  Selection, crossover and mutation below stay
+    // on this thread and consume `rng_` in the serial order.
+    const int pending = static_cast<int>(eval_list_.size());
+    if (pool_ && pending > 1) {
+      pool_->parallel_for(pending, evaluate_chunk);
+    } else if (pending > 0) {
+      evaluate_chunk(0, pending, 0);
+    }
+
+    // Publish results: new genotypes enter the memo (main thread, index
+    // order) and duplicates copy their representative's result.
+    for (const EvalItem& item : eval_list_) {
+      memo_.insert(item.fp, costs_[static_cast<std::size_t>(item.index)],
+                   metrics_[static_cast<std::size_t>(item.index)]);
+    }
+    for (const Fanout& dup : fanout_) {
+      costs_[static_cast<std::size_t>(dup.index)] =
+          costs_[static_cast<std::size_t>(dup.rep)];
+      metrics_[static_cast<std::size_t>(dup.index)] =
+          metrics_[static_cast<std::size_t>(dup.rep)];
+      ++result.memo_hits;
+    }
+
+    // Track the best-ever individual (genome + cost only; the winning
+    // schedule is decoded once, after the final generation).
+    const auto best_it = std::min_element(costs_.begin(), costs_.end());
     const auto best_index =
-        static_cast<std::size_t>(best_it - costs.begin());
+        static_cast<std::size_t>(best_it - costs_.begin());
     if (!have_best || *best_it < result.best_cost) {
       have_best = true;
       result.best_cost = *best_it;
       result.best = population_[best_index];
-      result.schedule = decoded[best_index];
       result.converged_at = generation;
     }
     result.generations.push_back(GaResult::GenerationStat{
-        *best_it, std::accumulate(costs.begin(), costs.end(), 0.0) /
+        *best_it, std::accumulate(costs_.begin(), costs_.end(), 0.0) /
                       static_cast<double>(n)});
     ++result.generations_run;
     if (generation + 1 == config_.generations) break;
 
     // Breed the next generation.
-    const std::vector<double> fitness = fitness_values(costs);
+    const std::vector<double> fitness = fitness_values(costs_);
     const std::vector<int> pool = select_parents(fitness);
 
     std::vector<SolutionString> next;
@@ -280,9 +390,9 @@ GaResult GaScheduler::optimize(std::span<const Task> tasks,
       std::iota(by_cost.begin(), by_cost.end(), 0);
       std::partial_sort(by_cost.begin(),
                         by_cost.begin() + config_.elite, by_cost.end(),
-                        [&costs](int a, int b) {
-                          return costs[static_cast<std::size_t>(a)] <
-                                 costs[static_cast<std::size_t>(b)];
+                        [this](int a, int b) {
+                          return costs_[static_cast<std::size_t>(a)] <
+                                 costs_[static_cast<std::size_t>(b)];
                         });
       for (int e = 0; e < config_.elite; ++e) {
         next.push_back(
@@ -307,10 +417,18 @@ GaResult GaScheduler::optimize(std::span<const Task> tasks,
     population_ = std::move(next);
   }
 
-  for (const std::uint64_t slot_decodes : decode_slots) {
+  for (const std::uint64_t slot_decodes : decode_slots_) {
     result.decodes += slot_decodes;
   }
+  // The one full decode of the run: placements for the winner only.
+  result.schedule = builder_->decode(context_, result.best, scratches_[0]);
+  ++result.decodes;
+  for (const DecodeScratch& scratch : scratches_) {
+    result.table_reads += scratch.table_reads;
+  }
   total_decodes_ += result.decodes;
+  total_memo_hits_ += result.memo_hits;
+  total_table_reads_ += result.table_reads;
   // Keep the best individual alive for the next invocation's warm start.
   population_.front() = result.best;
   return result;

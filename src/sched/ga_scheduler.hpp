@@ -22,6 +22,47 @@
 
 namespace gridlb::sched {
 
+/// Within-run genotype memoization (DESIGN.md §11).
+///
+/// Crossover under elitism routinely re-creates genotypes already costed
+/// this run; the memo lets them skip re-evaluation.  Flat open-addressed
+/// table keyed by SolutionString::Fingerprint — entries hold only the
+/// fingerprint, cost and metrics (no genome copy), so lookups and inserts
+/// are allocation-free.  A run boundary is an O(1) epoch bump: entries
+/// from earlier runs read as empty, because their metrics were computed
+/// against a different clock/queue state.  Main-thread only.
+class GenotypeMemo {
+ public:
+  struct Entry {
+    SolutionString::Fingerprint fp;
+    double cost = 0.0;
+    ScheduleMetrics metrics;
+    std::uint64_t epoch = 0;  ///< 0 = slot never written
+  };
+
+  /// Starts a new run expecting at most `expected` distinct genotypes.
+  /// Sizes the table to keep the load factor ≤ 0.5, so steady-state runs
+  /// never rehash.
+  void begin_run(std::size_t expected);
+
+  /// Entry for `fp` in the current run, or nullptr.
+  [[nodiscard]] const Entry* find(
+      const SolutionString::Fingerprint& fp) const;
+
+  void insert(const SolutionString::Fingerprint& fp, double cost,
+              const ScheduleMetrics& metrics);
+
+  [[nodiscard]] std::size_t capacity() const { return entries_.size(); }
+  [[nodiscard]] std::size_t live() const { return live_; }
+
+ private:
+  void grow();
+
+  std::vector<Entry> entries_;  ///< power-of-two size
+  std::uint64_t epoch_ = 0;
+  std::size_t live_ = 0;  ///< entries written this epoch
+};
+
 struct GaConfig {
   int population_size = 50;  ///< fixed population size (paper: 50)
   int generations = 25;      ///< generations evolved per invocation
@@ -48,7 +89,16 @@ struct GaResult {
   DecodedSchedule schedule;   ///< decode of `best`
   double best_cost = 0.0;
   int generations_run = 0;
-  std::uint64_t decodes = 0;  ///< schedule evaluations this invocation
+  /// Schedule evaluations actually performed this invocation (including
+  /// the single full decode of the winner).  With memoization on,
+  /// `decodes + memo_hits == population × generations + 1`.
+  std::uint64_t decodes = 0;
+  /// Evaluations skipped because the genotype was already costed this run
+  /// (cross-generation memo hits + within-generation duplicates).
+  std::uint64_t memo_hits = 0;
+  /// Prediction-table lookups this invocation — the lock-free reads that
+  /// replace per-task evaluation-cache lookups on the hot path.
+  std::uint64_t table_reads = 0;
   /// Per-generation convergence curve (observability; filled on every
   /// invocation — a handful of doubles, and gathering it consumes no
   /// randomness, so results are identical whether or not anyone looks).
@@ -81,6 +131,12 @@ class GaScheduler {
 
   [[nodiscard]] const GaConfig& config() const { return config_; }
   [[nodiscard]] std::uint64_t total_decodes() const { return total_decodes_; }
+  [[nodiscard]] std::uint64_t total_memo_hits() const {
+    return total_memo_hits_;
+  }
+  [[nodiscard]] std::uint64_t total_table_reads() const {
+    return total_table_reads_;
+  }
   /// Resolved evaluate-phase thread count (config value, with 0 expanded
   /// to the hardware concurrency).
   [[nodiscard]] int eval_threads() const {
@@ -101,11 +157,13 @@ class GaScheduler {
   /// completion when no allocation is deadline-feasible.  Seeding both
   /// families keeps the population out of the serial-wide basin that pure
   /// min-completion greedy occupies.
+  /// Reads its predictions from the prepared `context_` (and counts them
+  /// into `scratches_[0]`), so seeding shares the run's snapshot.
   [[nodiscard]] SolutionString greedy_seed(std::span<const Task> tasks,
                                            std::span<const SimTime> node_free,
                                            SimTime now, NodeMask available,
                                            bool deadline_order,
-                                           bool efficient) const;
+                                           bool efficient);
 
   /// Stochastic remainder selection: expected copies e_k = f_v,k·N/Σf_v;
   /// ⌊e_k⌋ copies deterministically, then Bernoulli draws on the
@@ -121,6 +179,29 @@ class GaScheduler {
   std::vector<SolutionString> population_;
   std::vector<TaskId> known_tasks_;  ///< task index -> id at last invocation
   std::uint64_t total_decodes_ = 0;
+  std::uint64_t total_memo_hits_ = 0;
+  std::uint64_t total_table_reads_ = 0;
+
+  // -- hot-path state, reused across invocations (DESIGN.md §11) ----------
+  /// One genome awaiting evaluation: its fingerprint and population index.
+  struct EvalItem {
+    SolutionString::Fingerprint fp;
+    int index = 0;
+  };
+  /// A within-generation duplicate: copy `rep`'s result to `index`.
+  struct Fanout {
+    int index = 0;
+    int rep = 0;
+  };
+
+  DecodeContext context_;
+  std::vector<DecodeScratch> scratches_;  ///< one per evaluate-phase slot
+  GenotypeMemo memo_;
+  std::vector<double> costs_;
+  std::vector<ScheduleMetrics> metrics_;
+  std::vector<EvalItem> eval_list_;
+  std::vector<Fanout> fanout_;
+  std::vector<std::uint64_t> decode_slots_;
 };
 
 }  // namespace gridlb::sched

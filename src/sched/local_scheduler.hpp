@@ -138,8 +138,17 @@ class LocalScheduler {
   [[nodiscard]] std::uint64_t ga_decodes() const {
     return ga_ ? ga_->total_decodes() : 0;
   }
+  [[nodiscard]] std::uint64_t ga_memo_hits() const {
+    return ga_ ? ga_->total_memo_hits() : 0;
+  }
   [[nodiscard]] std::uint64_t fifo_subsets_tried() const {
     return fifo_ ? fifo_->subsets_tried() : 0;
+  }
+  /// Lock-free prediction-table reads across whichever policy is active
+  /// (DESIGN.md §11) — the lookups that no longer reach the shared cache.
+  [[nodiscard]] std::uint64_t prediction_table_reads() const {
+    if (ga_) return ga_->total_table_reads();
+    return fifo_ ? fifo_->table_reads() : 0;
   }
   [[nodiscard]] const QueueStats& queue_stats() const { return queue_stats_; }
 

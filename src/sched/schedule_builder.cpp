@@ -1,7 +1,6 @@
 #include "sched/schedule_builder.hpp"
 
 #include <algorithm>
-#include <array>
 
 #include "common/assert.hpp"
 
@@ -12,6 +11,60 @@ ScheduleBuilder::ScheduleBuilder(pace::CachedEvaluator& evaluator,
     : evaluator_(&evaluator), resource_(resource), node_count_(node_count) {
   GRIDLB_REQUIRE(node_count >= 1 && node_count <= kMaxNodesPerResource,
                  "node count out of range");
+}
+
+void ScheduleBuilder::prepare(DecodeContext& context,
+                              std::span<const Task> tasks,
+                              std::span<const SimTime> node_free, SimTime now,
+                              NodeMask available) const {
+  GRIDLB_REQUIRE(static_cast<int>(node_free.size()) == node_count_,
+                 "node_free size mismatch");
+  GRIDLB_REQUIRE((available & ~full_mask(node_count_)) == 0,
+                 "available mask exceeds the resource");
+
+  context.now_ = now;
+  context.available_ = available;
+
+  // Effective per-node availability, clamping past idle to `now`; down
+  // nodes only come free at the distant horizon.
+  for (int i = 0; i < node_count_; ++i) {
+    const bool up = ((available >> i) & 1u) != 0;
+    context.base_free_[static_cast<std::size_t>(i)] =
+        up ? std::max(node_free[static_cast<std::size_t>(i)], now)
+           : now + kUnavailableHorizon;
+  }
+
+  // Snapshot first, hoist row pointers second: ensure_row for a new
+  // application may reallocate the table's storage, so pointers are only
+  // stable once every distinct application has a row.
+  evaluator_->snapshot(context.table_, resource_, node_count_);
+  for (const Task& task : tasks) {
+    (void)context.table_.ensure_row(*evaluator_, *task.app);
+  }
+  context.rows_.clear();
+  context.deadlines_.clear();
+  context.rows_.reserve(tasks.size());
+  context.deadlines_.reserve(tasks.size());
+  for (const Task& task : tasks) {
+    context.rows_.push_back(context.table_.row_of(*task.app));
+    context.deadlines_.push_back(task.deadline);
+  }
+}
+
+ScheduleMetrics ScheduleBuilder::evaluate(const DecodeContext& context,
+                                          const SolutionString& solution,
+                                          DecodeScratch& scratch) const {
+  return run(context, solution, scratch, nullptr);
+}
+
+DecodedSchedule ScheduleBuilder::decode(const DecodeContext& context,
+                                        const SolutionString& solution,
+                                        DecodeScratch& scratch) const {
+  DecodedSchedule out;
+  out.placements.resize(static_cast<std::size_t>(context.task_count()));
+  static_cast<ScheduleMetrics&>(out) =
+      run(context, solution, scratch, out.placements.data());
+  return out;
 }
 
 DecodedSchedule ScheduleBuilder::decode(std::span<const Task> tasks,
@@ -28,71 +81,76 @@ DecodedSchedule ScheduleBuilder::decode(std::span<const Task> tasks,
                                         NodeMask available) const {
   GRIDLB_REQUIRE(static_cast<int>(tasks.size()) == solution.task_count(),
                  "solution does not cover the task set");
-  GRIDLB_REQUIRE(static_cast<int>(node_free.size()) == node_count_,
-                 "node_free size mismatch");
-  GRIDLB_REQUIRE(solution.node_count() == node_count_ ||
-                     solution.task_count() == 0,
+  DecodeContext context;
+  DecodeScratch scratch;
+  prepare(context, tasks, node_free, now, available);
+  return decode(context, solution, scratch);
+}
+
+ScheduleMetrics ScheduleBuilder::run(const DecodeContext& context,
+                                     const SolutionString& solution,
+                                     DecodeScratch& scratch,
+                                     TaskPlacement* placements) const {
+  const int task_count = context.task_count();
+  GRIDLB_REQUIRE(solution.task_count() == task_count,
+                 "solution does not cover the prepared task set");
+  GRIDLB_REQUIRE(solution.node_count() == node_count_ || task_count == 0,
                  "solution node width mismatch");
-  GRIDLB_REQUIRE((available & ~full_mask(node_count_)) == 0,
-                 "available mask exceeds the resource");
 
-  DecodedSchedule out;
-  out.placements.resize(tasks.size());
+  const SimTime now = context.now_;
+  scratch.free = context.base_free_;
 
-  // Effective per-node availability, clamping past idle to `now`; down
-  // nodes only come free at the distant horizon.
-  std::array<SimTime, kMaxNodesPerResource> free{};
-  for (int i = 0; i < node_count_; ++i) {
-    const bool up = ((available >> i) & 1u) != 0;
-    free[static_cast<std::size_t>(i)] =
-        up ? std::max(node_free[static_cast<std::size_t>(i)], now)
-           : now + kUnavailableHorizon;
-  }
+  auto& gaps = scratch.gaps;
+  gaps.clear();
+  // Worst case one gap per allocated node per task plus one trailing gap
+  // per node; reserving that up front means push_back below can never
+  // reallocate, keeping steady-state evaluation allocation-free once the
+  // scratch has seen the run's largest task set.
+  const std::size_t worst_gaps =
+      (static_cast<std::size_t>(task_count) + 1) *
+      static_cast<std::size_t>(node_count_);
+  if (gaps.capacity() < worst_gaps) gaps.reserve(worst_gaps);
 
-  struct Gap {
-    SimTime start;
-    double length;
-  };
-  std::vector<Gap> gaps;
-  gaps.reserve(tasks.size() * 2);
-
+  ScheduleMetrics out;
   SimTime completion = now;
-  for (int p = 0; p < solution.task_count(); ++p) {
+  for (int p = 0; p < task_count; ++p) {
     const int t = solution.task_at(p);
-    const Task& task = tasks[static_cast<std::size_t>(t)];
     const NodeMask mask = solution.mask_of(t);
 
     SimTime start = now;
     for_each_node(mask, [&](int node) {
-      start = std::max(start, free[static_cast<std::size_t>(node)]);
+      start = std::max(start, scratch.free[static_cast<std::size_t>(node)]);
     });
-    const double exec = evaluator_->evaluate(
-        *task.app, resource_, ::gridlb::sched::node_count(mask));
+    const double exec =
+        context.exec_time(t, ::gridlb::sched::node_count(mask));
+    ++scratch.table_reads;
     const SimTime end = start + exec;
 
     for_each_node(mask, [&](int node) {
-      const SimTime was_free = free[static_cast<std::size_t>(node)];
+      const SimTime was_free = scratch.free[static_cast<std::size_t>(node)];
       if (start > was_free) {
-        gaps.push_back(Gap{was_free, start - was_free});
+        gaps.push_back(DecodeScratch::Gap{was_free, start - was_free});
       }
-      free[static_cast<std::size_t>(node)] = end;
+      scratch.free[static_cast<std::size_t>(node)] = end;
     });
 
-    auto& placement = out.placements[static_cast<std::size_t>(t)];
-    placement.start = start;
-    placement.end = end;
-    placement.mask = mask;
+    if (placements != nullptr) {
+      auto& placement = placements[static_cast<std::size_t>(t)];
+      placement.start = start;
+      placement.end = end;
+      placement.mask = mask;
+    }
     completion = std::max(completion, end);
 
-    const double overrun = end - task.deadline;
+    const double overrun = end - context.deadlines_[static_cast<std::size_t>(t)];
     if (overrun > 0.0) {
       out.contract_penalty += overrun;
       ++out.deadline_misses;
     }
     out.mean_completion += end - now;
   }
-  if (!tasks.empty()) {
-    out.mean_completion /= static_cast<double>(tasks.size());
+  if (task_count != 0) {
+    out.mean_completion /= static_cast<double>(task_count);
   }
 
   out.completion = completion;
@@ -100,9 +158,11 @@ DecodedSchedule ScheduleBuilder::decode(std::span<const Task> tasks,
 
   // Trailing idle: available nodes that finish before the makespan end.
   for (int i = 0; i < node_count_; ++i) {
-    if (((available >> i) & 1u) == 0) continue;
-    const SimTime last = free[static_cast<std::size_t>(i)];
-    if (completion > last) gaps.push_back(Gap{last, completion - last});
+    if (((context.available_ >> i) & 1u) == 0) continue;
+    const SimTime last = scratch.free[static_cast<std::size_t>(i)];
+    if (completion > last) {
+      gaps.push_back(DecodeScratch::Gap{last, completion - last});
+    }
   }
 
   // Front-weighted idle: a gap whose midpoint sits at the start of the
@@ -110,7 +170,7 @@ DecodedSchedule ScheduleBuilder::decode(std::span<const Task> tasks,
   // integrate to 1 over the window so φ of a uniformly spread idle profile
   // equals the plain idle total.
   const double window = out.makespan;
-  for (const Gap& gap : gaps) {
+  for (const DecodeScratch::Gap& gap : gaps) {
     out.total_idle += gap.length;
     if (window <= 0.0) continue;
     const double mid_rel = ((gap.start + gap.length / 2.0) - now) / window;

@@ -13,8 +13,18 @@
 //      is particularly undesirable … solutions that have large idle times
 //      are penalised by weighting pockets of idle time",
 //   θ  contract penalty — total deadline overrun Σ max(0, η_j − δ_j).
+//
+// Two decoding paths share one implementation (DESIGN.md §11):
+//   * evaluate() — metrics only, the GA's hot path.  All genome-invariant
+//     work (prediction-table snapshot, per-task rows, clamped node
+//     availability) is hoisted into a DecodeContext by prepare(), and all
+//     mutable buffers live in a caller-owned DecodeScratch, so steady-state
+//     evaluation performs zero heap allocations and zero lock acquisitions.
+//   * decode() — evaluate() plus the per-task placements, run once for the
+//     winning solution (and by tests/tools that want the full Gantt view).
 #pragma once
 
+#include <array>
 #include <span>
 #include <vector>
 
@@ -32,9 +42,9 @@ struct TaskPlacement {
   NodeMask mask = 0;    ///< ρ_j
 };
 
-/// A fully-decoded schedule plus its cost-function inputs.
-struct DecodedSchedule {
-  std::vector<TaskPlacement> placements;  ///< indexed by task index
+/// The cost-function inputs of one decoded schedule — everything the GA
+/// needs to rank an individual, with no per-task storage.
+struct ScheduleMetrics {
   SimTime completion = 0.0;  ///< absolute latest completion (max η_j)
   double makespan = 0.0;     ///< ω: completion − now (0 for empty schedules)
   double total_idle = 0.0;   ///< unweighted idle seconds across all nodes
@@ -44,26 +54,111 @@ struct DecodedSchedule {
   int deadline_misses = 0;
 };
 
+/// A fully-decoded schedule: the metrics plus its cost-function inputs.
+struct DecodedSchedule : ScheduleMetrics {
+  std::vector<TaskPlacement> placements;  ///< indexed by task index
+};
+
+/// Genome-invariant state for decoding one task set: the prediction-table
+/// snapshot, per-task prediction rows, and the clamped per-node
+/// availability.  Built once per scheduling run by
+/// ScheduleBuilder::prepare and then shared read-only by every evaluate /
+/// decode of that run (any number of threads).  Reusing one context across
+/// runs reuses all of its capacity.
+class DecodeContext {
+ public:
+  DecodeContext() = default;
+
+  [[nodiscard]] int task_count() const {
+    return static_cast<int>(rows_.size());
+  }
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] NodeMask available() const { return available_; }
+
+  /// Predicted execution time of task `t` on `k` nodes — pure array
+  /// indexing into the snapshot (bit-identical to the cache's value).
+  [[nodiscard]] double exec_time(int t, int k) const {
+    return rows_[static_cast<std::size_t>(t)][k - 1];
+  }
+
+  [[nodiscard]] const pace::PredictionTable& table() const { return table_; }
+
+ private:
+  friend class ScheduleBuilder;
+
+  pace::PredictionTable table_;
+  std::vector<const double*> rows_;  ///< task index -> prediction row
+  std::vector<double> deadlines_;    ///< task index -> δ_j (hoisted)
+  /// Effective per-node availability: past free times clamped to `now`,
+  /// down nodes pushed to the unavailable horizon.
+  std::array<SimTime, kMaxNodesPerResource> base_free_{};
+  SimTime now_ = 0.0;
+  NodeMask available_ = 0;
+};
+
+/// Per-thread mutable buffers for evaluate/decode.  One scratch per worker
+/// slot; capacity grows to the run's high-water mark and is then reused,
+/// so steady-state decoding never allocates.
+struct DecodeScratch {
+  /// One pocket of idle time (a gap before a task's unison start, or
+  /// trailing idle before the makespan end).
+  struct Gap {
+    SimTime start;
+    double length;
+  };
+
+  std::array<SimTime, kMaxNodesPerResource> free{};
+  std::vector<Gap> gaps;
+  /// Prediction-table reads performed through this scratch (one per task
+  /// per evaluation) — the lookups the sharded cache no longer sees.
+  std::uint64_t table_reads = 0;
+};
+
 class ScheduleBuilder {
  public:
   /// `evaluator` and `resource` provide t_x; `node_count` fixes ρ's width.
   ScheduleBuilder(pace::CachedEvaluator& evaluator,
                   pace::ResourceModel resource, int node_count);
 
+  // -- hot path -----------------------------------------------------------
+
+  /// Builds `context` for one scheduling run: snapshots the prediction
+  /// table for every distinct application in `tasks` (the only step that
+  /// touches the shard locks), hoists per-task rows, and clamps per-node
+  /// availability (`node_free` entries before `now` count as free-at-`now`
+  /// — idle already in the past is sunk cost; nodes outside `available`
+  /// come free only at `now + kUnavailableHorizon`, so any solution
+  /// allocating them is heavily penalised through its makespan, and they
+  /// contribute no idle time).
+  void prepare(DecodeContext& context, std::span<const Task> tasks,
+               std::span<const SimTime> node_free, SimTime now,
+               NodeMask available) const;
+
+  /// Metrics-only decode of `solution` under `context` — the GA's
+  /// steady-state evaluation: zero heap allocations (all buffers live in
+  /// `scratch`) and zero lock acquisitions (all predictions come from the
+  /// context's snapshot).  Returns exactly the metrics decode() would.
+  [[nodiscard]] ScheduleMetrics evaluate(const DecodeContext& context,
+                                         const SolutionString& solution,
+                                         DecodeScratch& scratch) const;
+
+  /// Full decode under a prepared context: evaluate() plus the per-task
+  /// placements.  Run once for the winning solution.
+  [[nodiscard]] DecodedSchedule decode(const DecodeContext& context,
+                                       const SolutionString& solution,
+                                       DecodeScratch& scratch) const;
+
+  // -- convenience (self-contained, allocates its own context) ------------
+
   /// Decodes `solution` over `tasks`, starting from per-node earliest
-  /// availability `node_free` (absolute times; entries before `now` are
-  /// treated as free-at-`now` — idle already in the past is sunk cost and
-  /// identical for every candidate schedule).
+  /// availability `node_free` (absolute times).
   [[nodiscard]] DecodedSchedule decode(std::span<const Task> tasks,
                                        const SolutionString& solution,
                                        std::span<const SimTime> node_free,
                                        SimTime now) const;
 
   /// As above, but nodes outside `available` are down (resource-monitor
-  /// view): they count as free only at `now + kUnavailableHorizon`, so any
-  /// solution allocating them is heavily penalised through its makespan,
-  /// and they contribute no idle time (an absent node is not wasted
-  /// capacity).
+  /// view).
   [[nodiscard]] DecodedSchedule decode(std::span<const Task> tasks,
                                        const SolutionString& solution,
                                        std::span<const SimTime> node_free,
@@ -81,6 +176,14 @@ class ScheduleBuilder {
   }
 
  private:
+  /// Shared implementation of evaluate/decode; `placements` (indexed by
+  /// task) is written only when non-null.  The arithmetic is identical in
+  /// both modes, so metrics-only evaluation is bit-for-bit the metrics of
+  /// a full decode.
+  ScheduleMetrics run(const DecodeContext& context,
+                      const SolutionString& solution, DecodeScratch& scratch,
+                      TaskPlacement* placements) const;
+
   pace::CachedEvaluator* evaluator_;
   pace::ResourceModel resource_;
   int node_count_;

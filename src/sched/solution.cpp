@@ -153,6 +153,30 @@ void SolutionString::mutate(double order_swap_rate, double bit_flip_rate,
   }
 }
 
+SolutionString::Fingerprint SolutionString::fingerprint() const {
+  // Two independent splitmix64-style lanes over the same word stream.
+  const auto mix = [](std::uint64_t h, std::uint64_t v,
+                      std::uint64_t gamma) {
+    h += v + gamma;
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 27;
+    h *= 0x94D049BB133111EBULL;
+    h ^= h >> 31;
+    return h;
+  };
+  Fingerprint fp{0x243F6A8885A308D3ULL, 0x13198A2E03707344ULL};
+  const auto absorb = [&](std::uint64_t v) {
+    fp.lo = mix(fp.lo, v, 0x9E3779B97F4A7C15ULL);
+    fp.hi = mix(fp.hi, v, 0xC2B2AE3D27D4EB4FULL);
+  };
+  absorb(static_cast<std::uint64_t>(node_count_));
+  absorb(order_.size());
+  for (const int t : order_) absorb(static_cast<std::uint64_t>(t));
+  for (const NodeMask m : mapping_) absorb(static_cast<std::uint64_t>(m));
+  return fp;
+}
+
 void SolutionString::remap_tasks(const std::vector<int>& kept,
                                  int new_task_count, Rng& rng) {
   GRIDLB_REQUIRE(kept.size() == order_.size(),

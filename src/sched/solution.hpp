@@ -12,6 +12,7 @@
 // crossover operator is recovered through the ordering part.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -85,6 +86,19 @@ class SolutionString {
   void constrain(NodeMask allowed, Rng& rng);
 
   bool operator==(const SolutionString&) const = default;
+
+  /// 128-bit content fingerprint over (node width, ordering part, mapping
+  /// part) — the genotype-memoization key (DESIGN.md §11).  Two mixing
+  /// lanes with independent constants make an accidental collision within
+  /// a run (a few thousand distinct genotypes) vanishingly unlikely
+  /// (~1e-33); genomes are deliberately *not* stored alongside the key, so
+  /// memo entries stay allocation-free.
+  struct Fingerprint {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    bool operator==(const Fingerprint&) const = default;
+  };
+  [[nodiscard]] Fingerprint fingerprint() const;
 
  private:
   void repair_mask(int task, Rng& rng);

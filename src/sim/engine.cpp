@@ -56,7 +56,7 @@ bool Engine::cancel(EventId id) {
   return true;
 }
 
-void Engine::pop_cancelled() {
+void Engine::pop_cancelled() const {
   while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
     cancelled_.erase(queue_.top().id);
     queue_.pop();
@@ -81,16 +81,13 @@ bool Engine::step() {
 }
 
 bool Engine::has_pending() const {
-  // pop_cancelled is not const; emulate it by scanning lazily.
-  auto copy = queue_;  // cheap only when queue is small; fine for queries
-  while (!copy.empty() && cancelled_.contains(copy.top().id)) copy.pop();
-  return !copy.empty();
+  pop_cancelled();
+  return !queue_.empty();
 }
 
 SimTime Engine::next_event_time() const {
-  auto copy = queue_;
-  while (!copy.empty() && cancelled_.contains(copy.top().id)) copy.pop();
-  return copy.empty() ? kTimeInfinity : copy.top().at;
+  pop_cancelled();
+  return queue_.empty() ? kTimeInfinity : queue_.top().at;
 }
 
 void Engine::run() {

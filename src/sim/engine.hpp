@@ -91,10 +91,15 @@ class Engine {
     }
   };
 
-  void pop_cancelled();
+  void pop_cancelled() const;
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  // `queue_` and `cancelled_` are mutable so const queries (has_pending,
+  // next_event_time) can share pop_cancelled's lazy sweep: discarding a
+  // cancelled top entry is observationally pure — the entry could never
+  // fire — and beats the previous approach of copying the whole queue
+  // (O(n) allocation + O(n log n) pops) per query.
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  mutable std::unordered_set<EventId> cancelled_;
   // Periodic chains: map from public chain id to the currently-scheduled
   // underlying event, so cancel() can chase the chain.
   std::unordered_set<EventId> cancelled_chains_;

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "pace/evaluation_engine.hpp"
+#include "pace/paper_applications.hpp"
+
+namespace gridlb::pace {
+namespace {
+
+struct TableFixture : ::testing::Test {
+  EvaluationEngine engine;
+  CachedEvaluator cache{engine};
+  ResourceModel sgi = ResourceModel::of(HardwareType::kSgiOrigin2000);
+  ApplicationCatalogue catalogue = paper_catalogue();
+};
+
+TEST_F(TableFixture, RowMatchesCacheBitForBit) {
+  PredictionTable table;
+  cache.snapshot(table, sgi, 16);
+  const ApplicationModel& app = *catalogue.all()[0];
+  const double* row = table.ensure_row(cache, app);
+  ASSERT_NE(row, nullptr);
+  for (int k = 1; k <= 16; ++k) {
+    EXPECT_EQ(row[k - 1], cache.evaluate(app, sgi, k));
+  }
+  EXPECT_EQ(table.max_nproc(), 16);
+}
+
+TEST_F(TableFixture, BuildsEachRowOnce) {
+  PredictionTable table;
+  cache.snapshot(table, sgi, 8);
+  const ApplicationModel& a = *catalogue.all()[0];
+  const ApplicationModel& b = *catalogue.all()[1];
+  EXPECT_EQ(table.row_of(a), nullptr);
+  (void)table.ensure_row(cache, a);
+  (void)table.ensure_row(cache, b);
+  EXPECT_EQ(table.app_count(), 2u);
+  EXPECT_EQ(table.rows_built(), 2u);
+
+  const std::uint64_t evaluations = engine.evaluations();
+  const double* again = table.ensure_row(cache, a);
+  EXPECT_EQ(again, table.row_of(a));
+  EXPECT_EQ(table.rows_built(), 2u);
+  // A repeat ensure_row is a pure lookup: no cache or engine traffic.
+  EXPECT_EQ(engine.evaluations(), evaluations);
+}
+
+TEST_F(TableFixture, SnapshotDropsRowsAndRetargetsResource) {
+  PredictionTable table;
+  cache.snapshot(table, sgi, 4);
+  const ApplicationModel& app = *catalogue.all()[2];
+  (void)table.ensure_row(cache, app);
+  ASSERT_NE(table.row_of(app), nullptr);
+
+  const auto sparc = ResourceModel::of(HardwareType::kSunSparcStation2);
+  cache.snapshot(table, sparc, 4);
+  EXPECT_EQ(table.app_count(), 0u);
+  EXPECT_EQ(table.row_of(app), nullptr);
+  const double* row = table.ensure_row(cache, app);
+  EXPECT_EQ(row[0], cache.evaluate(app, sparc, 1));
+  // rows_built counts across resets (lifetime total).
+  EXPECT_EQ(table.rows_built(), 2u);
+}
+
+TEST_F(TableFixture, RequiresSnapshotBeforeUse) {
+  PredictionTable table;
+  EXPECT_THROW((void)table.ensure_row(cache, *catalogue.all()[0]),
+               AssertionError);
+  EXPECT_THROW(cache.snapshot(table, sgi, 0), AssertionError);
+}
+
+}  // namespace
+}  // namespace gridlb::pace

@@ -181,9 +181,55 @@ TEST_F(GaFixture, TracksDecodeBudget) {
   config.generations = 5;
   GaScheduler scheduler(builder, config, 17);
   const auto result = scheduler.optimize(make_tasks(5), idle, 0.0);
-  EXPECT_EQ(result.decodes, 50u);
+  // Every individual in every generation is either evaluated or served
+  // from the genotype memo, and the winner costs one extra full decode.
+  EXPECT_EQ(result.decodes + result.memo_hits, 51u);
+  EXPECT_GT(result.decodes, 0u);
   EXPECT_EQ(result.generations_run, 5);
-  EXPECT_EQ(scheduler.total_decodes(), 50u);
+  EXPECT_EQ(scheduler.total_decodes(), result.decodes);
+  EXPECT_EQ(scheduler.total_memo_hits(), result.memo_hits);
+  // Each evaluation reads one prediction per task; greedy seeding adds
+  // its own reads on top.
+  EXPECT_GE(result.table_reads, (result.decodes - 1) * 5);
+}
+
+TEST_F(GaFixture, GenotypeMemoSkipsRepeatedIndividuals) {
+  GaConfig config;
+  config.population_size = 12;
+  config.generations = 8;
+  config.elite = 2;
+  GaScheduler scheduler(builder, config, 23);
+  const auto result = scheduler.optimize(make_tasks(6), idle, 0.0);
+  // The elite survivors re-enter every generation unchanged, so from
+  // generation 1 onwards each costs a memo hit instead of an evaluation
+  // (crossover clones and duplicate children only add to that).
+  const auto elite_repeats = static_cast<std::uint64_t>(
+      (config.generations - 1) * config.elite);
+  EXPECT_GE(result.memo_hits, elite_repeats);
+  EXPECT_EQ(result.decodes + result.memo_hits,
+            static_cast<std::uint64_t>(config.population_size) *
+                    static_cast<std::uint64_t>(config.generations) +
+                1u);
+}
+
+TEST_F(GaFixture, MemoIsInvalidatedBetweenRuns) {
+  // Same task set, different clock: the second run must not reuse the
+  // first run's cached metrics (identical genotypes decode differently
+  // when the nodes' free times move).
+  GaConfig config;
+  config.population_size = 8;
+  config.generations = 3;
+  GaScheduler scheduler(builder, config, 29);
+  const auto tasks = make_tasks(5);
+  const auto early = scheduler.optimize(tasks, idle, 0.0);
+  const std::vector<SimTime> busy(16, 50.0);
+  const auto late = scheduler.optimize(tasks, busy, 0.0);
+  // Every placement in the warm-started second run starts at or after the
+  // nodes come free — stale memo entries would report start times < 50.
+  for (const auto& placement : late.schedule.placements) {
+    EXPECT_GE(placement.start, 50.0);
+  }
+  EXPECT_GE(late.best_cost, early.best_cost);
 }
 
 TEST_F(GaFixture, RespectsBusyNodes) {

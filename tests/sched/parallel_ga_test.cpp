@@ -45,6 +45,8 @@ struct ParallelGaFixture : ::testing::Test {
     EXPECT_EQ(serial.best_cost, parallel.best_cost);  // bit-for-bit
     EXPECT_EQ(serial.generations_run, parallel.generations_run);
     EXPECT_EQ(serial.decodes, parallel.decodes);
+    EXPECT_EQ(serial.memo_hits, parallel.memo_hits);
+    EXPECT_EQ(serial.table_reads, parallel.table_reads);
     ASSERT_EQ(serial.schedule.placements.size(),
               parallel.schedule.placements.size());
     for (std::size_t i = 0; i < serial.schedule.placements.size(); ++i) {

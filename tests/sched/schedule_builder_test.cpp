@@ -270,5 +270,71 @@ TEST_P(DecodeInvariants, NoNodeOverlapAndConsistentMetrics) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DecodeInvariants,
                          ::testing::Range<std::uint64_t>(1, 21));
 
+// Property: the metrics-only hot path (prepare + evaluate into a scratch
+// arena) is bit-for-bit the metrics of a full decode, for randomised task
+// sets, solution masks, free times and down-node availability.  EXPECT_EQ
+// on doubles is deliberate — equal arithmetic, not just close.
+class EvaluateEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EvaluateEquivalence, MetricsOnlyEvaluateMatchesFullDecode) {
+  pace::EvaluationEngine engine;
+  pace::CachedEvaluator evaluator(engine);
+  const auto sgi = pace::ResourceModel::of(pace::HardwareType::kSgiOrigin2000);
+  const int nodes = 8;
+  ScheduleBuilder builder(evaluator, sgi, nodes);
+  const auto catalogue = pace::paper_catalogue();
+
+  Rng rng(GetParam() * 7919);
+  DecodeContext context;
+  DecodeScratch scratch;
+  for (int round = 0; round < 16; ++round) {
+    const int m = static_cast<int>(rng.next_below(15));  // includes empty
+    std::vector<Task> tasks;
+    for (int i = 0; i < m; ++i) {
+      Task task;
+      task.id = TaskId(static_cast<std::uint64_t>(i));
+      task.app = catalogue.all()[static_cast<std::size_t>(
+          rng.next_below(catalogue.size()))];
+      task.deadline = rng.uniform(0.0, 400.0);
+      tasks.push_back(std::move(task));
+    }
+    std::vector<SimTime> free(static_cast<std::size_t>(nodes));
+    for (auto& f : free) f = rng.uniform(0.0, 60.0);
+    const SimTime now = rng.uniform(0.0, 20.0);
+    // Random availability, at least one node up.
+    auto available =
+        static_cast<NodeMask>(rng.next_u64()) & full_mask(nodes);
+    if (available == 0) available = 1;
+
+    const auto solution = SolutionString::random(m, nodes, rng);
+    const auto full = builder.decode(tasks, solution, free, now, available);
+
+    builder.prepare(context, tasks, free, now, available);
+    const ScheduleMetrics metrics =
+        builder.evaluate(context, solution, scratch);
+
+    EXPECT_EQ(metrics.completion, full.completion);
+    EXPECT_EQ(metrics.makespan, full.makespan);
+    EXPECT_EQ(metrics.total_idle, full.total_idle);
+    EXPECT_EQ(metrics.weighted_idle, full.weighted_idle);
+    EXPECT_EQ(metrics.contract_penalty, full.contract_penalty);
+    EXPECT_EQ(metrics.mean_completion, full.mean_completion);
+    EXPECT_EQ(metrics.deadline_misses, full.deadline_misses);
+
+    // And the context-based full decode agrees placement-by-placement
+    // with the self-contained convenience overload.
+    const auto via_context = builder.decode(context, solution, scratch);
+    ASSERT_EQ(via_context.placements.size(), full.placements.size());
+    for (std::size_t i = 0; i < full.placements.size(); ++i) {
+      EXPECT_EQ(via_context.placements[i].start, full.placements[i].start);
+      EXPECT_EQ(via_context.placements[i].end, full.placements[i].end);
+      EXPECT_EQ(via_context.placements[i].mask, full.placements[i].mask);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluateEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
 }  // namespace
 }  // namespace gridlb::sched

@@ -176,6 +176,41 @@ TEST(Engine, EventsProcessedCounter) {
   EXPECT_EQ(engine.events_processed(), 7u);
 }
 
+TEST(Engine, ConstQueriesSkipCancelledEvents) {
+  Engine engine;
+  bool fired = false;
+  const EventId first = engine.schedule_at(1.0, [&fired]() { fired = true; });
+  engine.schedule_at(2.0, []() {});
+  EXPECT_TRUE(engine.cancel(first));
+  // The queries prune the cancelled head lazily instead of copying the
+  // whole queue; the cancelled event must be invisible either way.
+  EXPECT_TRUE(engine.has_pending());
+  EXPECT_EQ(engine.next_event_time(), 2.0);
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(engine.has_pending());
+  EXPECT_EQ(engine.next_event_time(), kTimeInfinity);
+}
+
+TEST(Engine, AllCancelledReadsAsIdle) {
+  Engine engine;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 200; ++i) {
+    ids.push_back(engine.schedule_at(static_cast<double>(i) + 1.0, []() {}));
+  }
+  for (const EventId id : ids) EXPECT_TRUE(engine.cancel(id));
+  EXPECT_FALSE(engine.has_pending());
+  EXPECT_EQ(engine.next_event_time(), kTimeInfinity);
+  engine.run();
+  EXPECT_EQ(engine.events_processed(), 0u);
+  // A fresh event after the sweep behaves normally.
+  int count = 0;
+  engine.schedule_at(500.0, [&count]() { ++count; });
+  EXPECT_EQ(engine.next_event_time(), 500.0);
+  engine.run();
+  EXPECT_EQ(count, 1);
+}
+
 TEST(Engine, ManyEventsStressOrder) {
   Engine engine;
   std::vector<double> fired;

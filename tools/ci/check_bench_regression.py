@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Gate the GA evaluation hot path against the committed perf baseline.
+
+Usage: check_bench_regression.py <baseline.json> <current.json>
+
+Both files carry the micro_parallel_ga --json schema (the baseline may wrap
+it in a top-level "current" object, as BENCH_ga_hotpath.json does).  The
+gate is machine-normalized: it compares speedup_vs_full_decode — the ratio
+of the legacy self-contained full decode to the prepared-context
+metrics-only evaluate, both measured in the same process on the same
+machine — so a slower CI runner shifts both sides equally and only a real
+hot-path regression moves the ratio.  Raw ns are printed for context but
+never gated on.
+
+Fails (exit 1) when the current ratio drops below 75% of the committed one
+(a >25% decode-throughput regression), or when the hot path is no longer
+faster than the full decode at all.
+"""
+
+import json
+import sys
+
+TOLERANCE = 0.75  # fail below 75% of the committed speedup ratio
+
+
+def load_report(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if "current" in doc:  # BENCH_ga_hotpath.json wraps the bench output
+        doc = doc["current"]
+    return doc
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline = load_report(argv[1])
+    current = load_report(argv[2])
+
+    base_ratio = float(baseline["speedup_vs_full_decode"])
+    cur_ratio = float(current["speedup_vs_full_decode"])
+    threshold = TOLERANCE * base_ratio
+
+    print(f"workload                        : "
+          f"{current['workload']['tasks']} tasks, "
+          f"{current['workload']['nodes']} nodes")
+    print(f"full decode (this machine)      : "
+          f"{current['full_decode']['ns_per_decode']:.0f} ns")
+    print(f"hot-path evaluate (this machine): "
+          f"{current['hot_path_evaluate']['ns_per_evaluate']:.0f} ns")
+    print(f"baseline speedup_vs_full_decode : {base_ratio:.3f}")
+    print(f"current  speedup_vs_full_decode : {cur_ratio:.3f}")
+    print(f"threshold ({TOLERANCE:.0%} of baseline)     : {threshold:.3f}")
+
+    if cur_ratio <= 1.0:
+        print("FAIL: hot-path evaluate is no faster than the full decode")
+        return 1
+    if cur_ratio < threshold:
+        print("FAIL: decode throughput regressed more than "
+              f"{1 - TOLERANCE:.0%} vs the committed baseline")
+        return 1
+    print("PASS: hot-path decode throughput within tolerance of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
