@@ -5,50 +5,29 @@
 // are processed between neighbouring agents and the system has no central
 // structure which might act as a potential bottleneck.  While further
 // work is necessary to test the scalability of the system …" — this bench
-// is that further work, in simulation: grids of 3..48 agents (balanced
-// ternary hierarchies, case-study hardware mix) under a proportional
-// workload, reporting hops per request, messages per agent, and the share
-// of requests resolved without leaving the entry agent.
+// is that further work, in simulation: generated fanout-3 grids of 3..192
+// agents (scenario subsystem, DESIGN.md §12; case-study hardware mix)
+// under a proportional workload (25 requests per resource), reporting
+// hops per request, messages per agent, and the share of requests
+// resolved without leaving the entry agent.
 
 #include <cstdio>
-#include <string>
-#include <vector>
 
-#include "core/gridlb.hpp"
-
-namespace {
-
-using namespace gridlb;
-
-std::vector<agents::ResourceSpec> balanced_grid(int agent_count) {
-  const pace::HardwareType mix[] = {
-      pace::HardwareType::kSgiOrigin2000, pace::HardwareType::kSunUltra10,
-      pace::HardwareType::kSunUltra5, pace::HardwareType::kSunUltra1,
-      pace::HardwareType::kSunSparcStation2};
-  std::vector<agents::ResourceSpec> specs;
-  for (int i = 0; i < agent_count; ++i) {
-    agents::ResourceSpec spec;
-    spec.name = "S" + std::to_string(i + 1);
-    spec.hardware = mix[static_cast<std::size_t>(i) % 5];
-    spec.node_count = 16;
-    spec.parent = i == 0 ? -1 : (i - 1) / 3;  // balanced ternary tree
-    specs.push_back(std::move(spec));
-  }
-  return specs;
-}
-
-}  // namespace
+#include "gridlb.hpp"
 
 int main() {
+  using namespace gridlb;
   std::printf("discovery scalability sweep (workload scales with grid "
               "size):\n\n");
   std::printf("  %6s %9s %8s %10s %11s %9s\n", "agents", "requests", "hops",
               "msgs/agent", "local-only%", "beta%");
-  for (const int agent_count : {3, 6, 12, 24, 48}) {
-    core::ExperimentConfig config = core::experiment3();
-    config.system.resources = balanced_grid(agent_count);
-    config.workload.count = agent_count * 25;  // constant load per resource
-    const auto result = core::run_experiment(config);
+  for (const int agent_count : {3, 6, 12, 24, 48, 96, 192}) {
+    core::ScenarioSpec spec;
+    spec.agent_count = agent_count;
+    spec.shape = core::HierarchyShape::kFanout;
+    spec.fanout = 3;
+    spec.requests_per_agent = 25;  // constant load per resource
+    const auto result = core::run_experiment(core::scenario_experiment(spec));
 
     std::uint64_t zero_hop = 0;
     std::uint64_t dispatched = 0;

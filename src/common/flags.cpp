@@ -1,5 +1,6 @@
 #include "common/flags.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -25,8 +26,10 @@ const Flags::Declaration* Flags::find_declaration(
 }
 
 std::optional<std::string> Flags::find_value(const std::string& name) const {
-  for (const auto& value : values_) {
-    if (value.name == name) return value.value;
+  // Last occurrence wins, so scripts can append overrides to a baseline
+  // command line (`gridlb … --seed 1 … --seed 2` runs with seed 2).
+  for (auto it = values_.rbegin(); it != values_.rend(); ++it) {
+    if (it->name == name) return it->value;
   }
   return std::nullopt;
 }
@@ -78,11 +81,14 @@ int Flags::get_int(const std::string& name, int fallback) const {
     return fallback;
   }
   try {
-    return std::stoi(*value);
+    std::size_t consumed = 0;
+    const int parsed = std::stoi(*value, &consumed);
+    // std::stoi stops at the first non-digit; "16x" must not parse as 16.
+    if (consumed == value->size()) return parsed;
   } catch (const std::exception&) {
-    GRIDLB_REQUIRE(false, "flag --" + name + " expects an integer, got '" +
-                              *value + "'");
   }
+  GRIDLB_REQUIRE(false, "flag --" + name + " expects an integer, got '" +
+                            *value + "'");
 }
 
 double Flags::get_double(const std::string& name, double fallback) const {
@@ -93,11 +99,14 @@ double Flags::get_double(const std::string& name, double fallback) const {
     return fallback;
   }
   try {
-    return std::stod(*value);
+    std::size_t consumed = 0;
+    const double parsed = std::stod(*value, &consumed);
+    // std::stod stops at the first bad char; "0.05typo" must not parse.
+    if (consumed == value->size()) return parsed;
   } catch (const std::exception&) {
-    GRIDLB_REQUIRE(false, "flag --" + name + " expects a number, got '" +
-                              *value + "'");
   }
+  GRIDLB_REQUIRE(false, "flag --" + name + " expects a number, got '" +
+                            *value + "'");
 }
 
 bool Flags::get_bool(const std::string& name, bool fallback) const {
@@ -122,7 +131,10 @@ std::string Flags::usage(const std::string& program) const {
       left += " <" + declaration.value_hint + ">";
     }
     os << left;
-    for (std::size_t pad = left.size(); pad < 34; ++pad) os << ' ';
+    // Pad to a fixed help column, but never glue a wide flag to its help
+    // text: at least two spaces always separate the columns.
+    const std::size_t column = std::max<std::size_t>(34, left.size() + 2);
+    for (std::size_t pad = left.size(); pad < column; ++pad) os << ' ';
     os << declaration.help << '\n';
   }
   return os.str();

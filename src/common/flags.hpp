@@ -1,8 +1,11 @@
 // Minimal command-line flag parser for the tools and examples.
 //
 // Supports `--key value`, `--key=value` and boolean `--flag` forms, plus
-// positional arguments.  Declared flags carry a help line; `usage()`
-// renders them.  Unknown flags raise AssertionError so typos fail fast.
+// positional arguments.  Repeated flags resolve last-wins (scripts append
+// overrides to a baseline command line), and numeric getters require the
+// whole token to parse ("16x" is an error, not 16).  Declared flags carry
+// a help line; `usage()` renders them.  Unknown flags raise
+// AssertionError so typos fail fast.
 #pragma once
 
 #include <optional>

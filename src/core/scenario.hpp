@@ -1,0 +1,78 @@
+// Parameterised grid scenarios (DESIGN.md §12).
+//
+// The paper's evaluation is hard-wired to the twelve-agent Fig. 7 grid
+// and leaves scalability as future work ("further work is necessary to
+// test the scalability of the system", §3.1).  A ScenarioSpec describes a
+// whole family of grids instead: how many agents, how the hierarchy is
+// shaped (balanced fanout trees or seeded random trees with a depth cap),
+// which hardware mix the resources cycle through, how many nodes each
+// resource has, and how the workload scales with the grid (requests per
+// resource, arrival rate, deadline tightness).  The generator turns a
+// spec into the concrete `agents::ResourceSpec` tree + `WorkloadConfig`
+// every harness entry point already consumes, so the same code that
+// reproduces Table 3 runs any grid you can describe.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agents/agent_system.hpp"
+#include "core/experiment.hpp"
+#include "core/workload.hpp"
+
+namespace gridlb::core {
+
+/// How scenario agents are wired into a hierarchy.
+enum class HierarchyShape {
+  /// Balanced tree: agent i's parent is (i − 1) / fanout — every interior
+  /// agent has up to `fanout` children and depth grows logarithmically.
+  kFanout,
+  /// Random tree: each agent picks a uniformly random earlier agent as
+  /// its parent (seeded, optionally depth-capped).  Models organically
+  /// grown grids instead of planned ones.
+  kRandom,
+};
+
+/// Shape name as spelled on the CLI ("fanout" / "random").
+[[nodiscard]] std::string shape_name(HierarchyShape shape);
+/// Inverse of shape_name; throws AssertionError for unknown names.
+[[nodiscard]] HierarchyShape shape_from_name(const std::string& name);
+
+struct ScenarioSpec {
+  // --- grid ---
+  int agent_count = 12;
+  HierarchyShape shape = HierarchyShape::kFanout;
+  int fanout = 3;  ///< children per interior agent (kFanout only)
+  /// Maximum tree depth for kRandom (root = depth 0); 0 = unbounded.
+  /// A cap of 1 yields a star, a large cap tends towards long chains.
+  int max_depth = 0;
+  std::uint64_t tree_seed = 1;  ///< parent selection seed (kRandom only)
+  /// Hardware assigned round-robin down the agent list (S1 gets mix[0],
+  /// S2 mix[1], …).  Empty = all five case-study platforms, fastest
+  /// first — the mix the scalability ablation has always used.
+  std::vector<pace::HardwareType> hardware_mix;
+  int nodes_per_resource = 16;
+  // --- workload scaling ---
+  int requests_per_agent = 25;    ///< total requests = agents × this
+  double arrival_interval = 1.0;  ///< seconds between submissions
+  double deadline_scale = 1.0;    ///< see WorkloadConfig::deadline_scale
+  std::uint64_t workload_seed = 2003;
+};
+
+/// Generates the resource tree for `spec`: agents named "S1".."SN" in
+/// topological (parent-first) order, hardware cycled from the mix.
+/// Deterministic — the same spec always yields the same tree.
+[[nodiscard]] std::vector<agents::ResourceSpec> scenario_resources(
+    const ScenarioSpec& spec);
+
+/// The matching workload: `agent_count × requests_per_agent` requests at
+/// `arrival_interval` spacing (load per resource stays constant as the
+/// grid grows).
+[[nodiscard]] WorkloadConfig scenario_workload(const ScenarioSpec& spec);
+
+/// A ready-to-run experiment over the generated grid, configured like the
+/// paper's experiment 3 (GA local scheduling + agent discovery).
+[[nodiscard]] ExperimentConfig scenario_experiment(const ScenarioSpec& spec);
+
+}  // namespace gridlb::core

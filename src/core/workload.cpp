@@ -10,6 +10,8 @@ std::vector<RequestSpec> generate_workload(
     int agent_count) {
   GRIDLB_REQUIRE(config.count >= 0, "negative request count");
   GRIDLB_REQUIRE(config.interval > 0.0, "interval must be positive");
+  GRIDLB_REQUIRE(config.deadline_scale > 0.0,
+                 "deadline scale must be positive");
   GRIDLB_REQUIRE(agent_count >= 1, "need at least one agent");
   GRIDLB_REQUIRE(catalogue.size() >= 1, "need at least one application");
 
@@ -25,7 +27,8 @@ std::vector<RequestSpec> generate_workload(
         rng.next_below(catalogue.size()))];
     spec.app_name = app->name();
     const pace::DeadlineDomain domain = app->deadline_domain();
-    spec.deadline_offset = rng.uniform(domain.lo, domain.hi);
+    spec.deadline_offset =
+        rng.uniform(domain.lo, domain.hi) * config.deadline_scale;
     out.push_back(std::move(spec));
   }
   return out;

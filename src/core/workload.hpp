@@ -32,6 +32,10 @@ struct WorkloadConfig {
   double interval = 1.0;  ///< seconds between submissions
   double start = 1.0;     ///< time of the first submission
   std::uint64_t seed = 2003;
+  /// Deadline tightness: the Table 1 deadline drawn for each request is
+  /// multiplied by this factor (<1 squeezes deadlines, >1 relaxes them).
+  /// 1.0 leaves the case-study workload bit-identical.
+  double deadline_scale = 1.0;
 };
 
 /// Deterministically generates the workload; the same seed yields the same

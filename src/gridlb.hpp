@@ -20,6 +20,7 @@
 #include "common/types.hpp"            // IWYU pragma: export
 #include "core/case_study.hpp"         // IWYU pragma: export
 #include "core/experiment.hpp"         // IWYU pragma: export
+#include "core/scenario.hpp"           // IWYU pragma: export
 #include "core/workload.hpp"           // IWYU pragma: export
 #include "metrics/metrics.hpp"         // IWYU pragma: export
 #include "obs/obs.hpp"                 // IWYU pragma: export

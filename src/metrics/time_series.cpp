@@ -35,8 +35,13 @@ Timeline build_timeline(
   }
   out.total.assign(buckets, 0.0);
 
+  const double span_end = start + static_cast<double>(buckets) * window;
   for (const auto& record : records) {
-    const auto resource_index = record.resource.value() - 1;
+    // AgentIds are 1-based; a zero id would wrap to a huge unsigned index.
+    GRIDLB_REQUIRE(record.resource.value() >= 1,
+                   "completion record has resource id 0 (ids are 1-based)");
+    const auto resource_index =
+        static_cast<std::size_t>(record.resource.value() - 1);
     GRIDLB_REQUIRE(resource_index < out.resources.size(),
                    "record references an unknown resource");
     GRIDLB_REQUIRE(record.end >= record.start,
@@ -44,7 +49,21 @@ Timeline build_timeline(
     UtilisationSeries& series = out.resources[resource_index];
     const double weight = static_cast<double>(sched::node_count(record.mask));
     // Spread the execution's node-seconds over the buckets it overlaps.
-    for (std::size_t bucket = 0; bucket < buckets; ++bucket) {
+    // Only the bucket range [first, last) intersecting [start, end) is
+    // visited — the build is linear in records, not records × buckets.
+    // The range is widened by one bucket on each side so floating-point
+    // rounding in the division can never skip a bucket the overlap test
+    // would have charged; the `overlap <= 0` guard keeps the arithmetic
+    // bit-identical to a full scan.
+    const double clip_lo = std::max(record.start, start);
+    const double clip_hi = std::min(record.end, span_end);
+    if (clip_hi <= clip_lo) continue;
+    auto first = static_cast<std::size_t>((clip_lo - start) / window);
+    if (first > 0) --first;
+    auto last = static_cast<std::size_t>(std::ceil((clip_hi - start) / window));
+    if (last < buckets) ++last;
+    last = std::min(last, buckets);
+    for (std::size_t bucket = first; bucket < last; ++bucket) {
       const double lo = start + static_cast<double>(bucket) * window;
       const double hi = lo + window;
       const double overlap =

@@ -32,7 +32,9 @@ struct Timeline {
 
 /// Buckets `records` (each execution charges [start, end) on its nodes)
 /// into windows of `window` seconds starting at `start`.  `resources`
-/// supplies labels and node counts in AgentId order 1..N.
+/// supplies labels and node counts in AgentId order 1..N; records must
+/// carry 1-based resource ids.  Each record only touches the buckets its
+/// execution overlaps, so the build is linear in the record count.
 [[nodiscard]] Timeline build_timeline(
     const std::vector<sched::CompletionRecord>& records,
     const std::vector<std::pair<std::string, int>>& resources, double window,

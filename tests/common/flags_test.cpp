@@ -75,6 +75,33 @@ TEST(Flags, MissingValueThrows) {
   EXPECT_THROW(parse(flags, {"--requests"}), AssertionError);
 }
 
+TEST(Flags, LastOccurrenceWins) {
+  // Scripts append overrides to a baseline command line; the override
+  // (the later occurrence) must take effect, in every value form.
+  Flags flags = declared();
+  parse(flags, {"--requests", "1", "--requests", "2"});
+  EXPECT_EQ(flags.get_int("requests", 0), 2);
+
+  Flags mixed = declared();
+  parse(mixed, {"--policy=ga", "--csv", "--policy", "fifo", "--csv=off"});
+  EXPECT_EQ(mixed.get("policy", ""), "fifo");
+  EXPECT_FALSE(mixed.get_bool("csv", true));
+}
+
+TEST(Flags, TrailingGarbageInNumbersThrows) {
+  // std::stoi/std::stod stop at the first bad character; "16x" must not
+  // silently parse as 16, nor "0.05typo" as 0.05.
+  Flags flags = declared();
+  parse(flags, {"--requests", "16x", "--rate", "0.05typo"});
+  EXPECT_THROW((void)flags.get_int("requests", 0), AssertionError);
+  EXPECT_THROW((void)flags.get_double("rate", 0.0), AssertionError);
+
+  Flags spaced = declared();
+  parse(spaced, {"--requests", "16 ", "--rate=1.5e3"});
+  EXPECT_THROW((void)spaced.get_int("requests", 0), AssertionError);
+  EXPECT_DOUBLE_EQ(spaced.get_double("rate", 0.0), 1500.0);
+}
+
 TEST(Flags, MalformedNumbersThrow) {
   Flags flags = declared();
   parse(flags, {"--requests", "many", "--rate", "fast", "--csv=maybe"});
@@ -100,6 +127,28 @@ TEST(Flags, UsageListsEveryFlag) {
   EXPECT_NE(usage.find("--requests <N>"), std::string::npos);
   EXPECT_NE(usage.find("--csv"), std::string::npos);
   EXPECT_NE(usage.find("request count"), std::string::npos);
+}
+
+TEST(Flags, UsageSeparatesWideFlagsFromHelp) {
+  // A flag column at or past the 34-char help column must still get a
+  // separator — never "--flag <hint>help text" glued together.
+  Flags flags;
+  flags.declare("a-very-long-scenario-flag-name", "value-hint-too",
+                "its help text");
+  const std::string usage = flags.usage("tool");
+  EXPECT_NE(
+      usage.find("--a-very-long-scenario-flag-name <value-hint-too>  its "
+                 "help text"),
+      std::string::npos)
+      << usage;
+
+  // Short flags still pad out to the fixed help column.
+  Flags narrow;
+  narrow.declare("x", "", "tiny");
+  const std::string line = narrow.usage("tool");
+  EXPECT_NE(line.find("  --x" + std::string(34 - 5, ' ') + "tiny"),
+            std::string::npos)
+      << line;
 }
 
 }  // namespace

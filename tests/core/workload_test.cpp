@@ -112,6 +112,9 @@ TEST_F(WorkloadFixture, ValidatesArguments) {
   config.interval = 0.0;
   EXPECT_THROW(generate_workload(config, catalogue, 12), AssertionError);
   config = WorkloadConfig{};
+  config.deadline_scale = 0.0;
+  EXPECT_THROW(generate_workload(config, catalogue, 12), AssertionError);
+  config = WorkloadConfig{};
   EXPECT_THROW(generate_workload(config, catalogue, 0), AssertionError);
   const pace::ApplicationCatalogue empty;
   EXPECT_THROW(generate_workload(config, empty, 12), AssertionError);

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/assert.hpp"
+#include "core/experiment.hpp"
+#include "sched/node_mask.hpp"
 
 namespace gridlb::metrics {
 namespace {
@@ -101,6 +106,96 @@ TEST(Timeline, ZeroLengthRecordContributesNothing) {
   const auto timeline = build_timeline({record(1, 0b1, 5.0, 5.0)},
                                        kTwoResources, 10.0, 0.0, 10.0);
   EXPECT_DOUBLE_EQ(timeline.resources[0].utilisation[0], 0.0);
+}
+
+TEST(Timeline, ZeroResourceIdIsRejectedExplicitly) {
+  // AgentIds are 1-based; id 0 used to wrap to a huge unsigned index and
+  // was only caught incidentally by the unknown-resource size check.  The
+  // rejection must name the real problem.
+  try {
+    build_timeline({record(0, 0b1, 0.0, 1.0)}, kTwoResources, 10.0, 0.0,
+                   10.0);
+    FAIL() << "zero resource id must be rejected";
+  } catch (const AssertionError& error) {
+    EXPECT_NE(std::string(error.what()).find("resource id 0"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+/// The pre-optimisation timeline build: every record scans every bucket.
+/// Kept verbatim as the reference the ranged accumulation must match
+/// bit-for-bit (same adds, same order, same floating-point results).
+Timeline full_scan_timeline(
+    const std::vector<sched::CompletionRecord>& records,
+    const std::vector<std::pair<std::string, int>>& resources, double window,
+    SimTime start, SimTime end) {
+  Timeline out;
+  out.window = window;
+  out.start = start;
+  const auto buckets = static_cast<std::size_t>(
+      std::max(1.0, std::ceil((end - start) / window)));
+  double total_nodes = 0.0;
+  for (const auto& [label, node_count] : resources) {
+    UtilisationSeries series;
+    series.label = label;
+    series.node_count = node_count;
+    series.utilisation.assign(buckets, 0.0);
+    out.resources.push_back(std::move(series));
+    total_nodes += node_count;
+  }
+  out.total.assign(buckets, 0.0);
+  for (const auto& record : records) {
+    const auto resource_index =
+        static_cast<std::size_t>(record.resource.value() - 1);
+    UtilisationSeries& series = out.resources[resource_index];
+    const double weight = static_cast<double>(sched::node_count(record.mask));
+    for (std::size_t bucket = 0; bucket < buckets; ++bucket) {
+      const double lo = start + static_cast<double>(bucket) * window;
+      const double hi = lo + window;
+      const double overlap =
+          std::max(0.0, std::min(hi, record.end) - std::max(lo, record.start));
+      if (overlap <= 0.0) continue;
+      series.utilisation[bucket] +=
+          overlap * weight / (window * series.node_count);
+      out.total[bucket] += overlap * weight / (window * total_nodes);
+    }
+  }
+  return out;
+}
+
+TEST(Timeline, RangedAccumulationMatchesFullScanOnCaseStudyWorkload) {
+  // The real 600-task case-study run: the ranged build must reproduce the
+  // quadratic full scan bit-for-bit (identical CSV text, not just close).
+  core::ExperimentConfig config = core::experiment3();
+  config.workload.count = 600;
+  const core::ExperimentResult result = core::run_experiment(config);
+  ASSERT_EQ(result.completions.size(), 600u);
+
+  std::vector<std::pair<std::string, int>> resources;
+  for (const auto& spec : config.system.resources) {
+    resources.emplace_back(spec.name, spec.node_count);
+  }
+  SimTime end = 0.0;
+  for (const auto& record : result.completions) {
+    end = std::max(end, record.end);
+  }
+  for (const double window : {7.0, 60.0, 1e6}) {
+    const Timeline ranged =
+        build_timeline(result.completions, resources, window, 0.0, end);
+    const Timeline reference =
+        full_scan_timeline(result.completions, resources, window, 0.0, end);
+    EXPECT_EQ(timeline_csv(ranged), timeline_csv(reference))
+        << "window " << window;
+    // Stronger than the CSV text: the raw doubles are bit-for-bit equal.
+    ASSERT_EQ(ranged.buckets(), reference.buckets());
+    EXPECT_EQ(ranged.total, reference.total);
+    for (std::size_t r = 0; r < ranged.resources.size(); ++r) {
+      EXPECT_EQ(ranged.resources[r].utilisation,
+                reference.resources[r].utilisation)
+          << resources[r].first;
+    }
+  }
 }
 
 TEST(Timeline, RecordRunningBackwardsIsRejected) {

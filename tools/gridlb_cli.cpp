@@ -12,7 +12,16 @@
 //                   [--eval-threads N] [--churn-mtbf M --churn-mttr R]
 //                   [--csv] [--trace S1]
 //       Run a custom campaign on the Fig. 7 grid; --trace renders one
-//       resource's executed Gantt chart.
+//       resource's executed Gantt chart.  A leading `--` flag with no
+//       command runs a campaign, so `gridlb --grid-agents 192 …` works.
+//
+// Scenario grids (campaign command, DESIGN.md §12): --grid-agents
+// replaces the Fig. 7 grid with a generated one — --grid-shape
+// fanout|random, --grid-fanout, --grid-depth, --grid-seed, --grid-nodes
+// describe the hierarchy; --requests-per-agent, --arrival-interval and
+// --deadline-scale scale the workload with it.  --timeline-out writes the
+// per-resource utilisation timeline as CSV (--timeline-window buckets),
+// and --require-complete exits non-zero unless every task completed.
 //
 // Fault injection (experiment and campaign commands): --drop-prob,
 // --net-jitter, --agent-mtbf/--agent-mttr.  Any of these switches on the
@@ -26,16 +35,20 @@
 // Everything runs in virtual time; identical flags give identical output,
 // and enabling tracing never changes results (DESIGN.md §9).
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/flags.hpp"
 #include "common/log.hpp"
 #include "core/gridlb.hpp"
+#include "core/scenario.hpp"
+#include "metrics/time_series.hpp"
 #include "pace/model_parser.hpp"
 #include "report/csv.hpp"
 #include "report/gantt.hpp"
@@ -134,12 +147,42 @@ void apply_fault_flags(const Flags& flags, core::ExperimentConfig& config) {
   }
 }
 
+/// Builds the generated grid described by the --grid-* / workload-scaling
+/// flags (campaign command with --grid-agents).
+core::ScenarioSpec scenario_spec_from_flags(const Flags& flags) {
+  core::ScenarioSpec spec;
+  spec.agent_count = flags.get_int("grid-agents", spec.agent_count);
+  spec.shape = core::shape_from_name(
+      flags.get("grid-shape", core::shape_name(spec.shape)));
+  spec.fanout = flags.get_int("grid-fanout", spec.fanout);
+  spec.max_depth = flags.get_int("grid-depth", spec.max_depth);
+  spec.tree_seed = static_cast<std::uint64_t>(
+      flags.get_int("grid-seed", static_cast<int>(spec.tree_seed)));
+  spec.nodes_per_resource =
+      flags.get_int("grid-nodes", spec.nodes_per_resource);
+  spec.requests_per_agent =
+      flags.get_int("requests-per-agent", spec.requests_per_agent);
+  spec.arrival_interval =
+      flags.get_double("arrival-interval", spec.arrival_interval);
+  spec.deadline_scale =
+      flags.get_double("deadline-scale", spec.deadline_scale);
+  return spec;
+}
+
 core::ExperimentConfig campaign_config(const Flags& flags) {
-  core::ExperimentConfig config = core::experiment3();
-  config.name = "campaign";
-  config.workload.count = flags.get_int("requests", 300);
-  config.workload.seed =
-      static_cast<std::uint64_t>(flags.get_int("seed", 2003));
+  core::ExperimentConfig config;
+  if (flags.has("grid-agents")) {
+    config = core::scenario_experiment(scenario_spec_from_flags(flags));
+    if (flags.has("requests")) {
+      config.workload.count = flags.get_int("requests", config.workload.count);
+    }
+  } else {
+    config = core::experiment3();
+    config.name = "campaign";
+    config.workload.count = flags.get_int("requests", 300);
+  }
+  config.workload.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<int>(config.workload.seed)));
   const std::string policy = flags.get("policy", "ga");
   GRIDLB_REQUIRE(policy == "ga" || policy == "fifo",
                  "--policy must be ga or fifo");
@@ -232,6 +275,27 @@ int cmd_campaign(const Flags& flags) {
             .node_count);
     return 0;
   }
+  if (flags.has("timeline-out")) {
+    std::vector<std::pair<std::string, int>> resources;
+    for (const auto& spec : config.system.resources) {
+      resources.emplace_back(spec.name, spec.node_count);
+    }
+    SimTime end = 0.0;
+    for (const auto& record : result.completions) {
+      end = std::max(end, record.end);
+    }
+    const metrics::Timeline timeline = metrics::build_timeline(
+        result.completions, resources,
+        flags.get_double("timeline-window", 60.0), 0.0, end);
+    const std::string path = flags.get("timeline-out", "");
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write timeline CSV: %s\n", path.c_str());
+      return 1;
+    }
+    out << metrics::timeline_csv(timeline);
+    log::info("wrote timeline CSV to ", path);
+  }
   if (flags.get_bool("csv", false)) {
     std::cout << report::report_csv(result.report);
   } else {
@@ -243,6 +307,14 @@ int cmd_campaign(const Flags& flags) {
                 result.finished_at, result.mean_hops,
                 static_cast<unsigned long long>(result.network_messages),
                 result.cache.hit_rate() * 100.0);
+  }
+  if (flags.get_bool("require-complete", false) &&
+      result.tasks_completed < result.requests_submitted) {
+    std::fprintf(stderr, "FAIL: %llu of %llu tasks did not complete\n",
+                 static_cast<unsigned long long>(result.requests_submitted -
+                                                 result.tasks_completed),
+                 static_cast<unsigned long long>(result.requests_submitted));
+    return 1;
   }
   return 0;
 }
@@ -264,6 +336,24 @@ Flags make_flags() {
   flags.declare("net-jitter", "sec", "max uniform extra message latency");
   flags.declare("agent-mtbf", "sec", "mean agent up-time (0 = no crashes)");
   flags.declare("agent-mttr", "sec", "mean agent restart time");
+  flags.declare("grid-agents", "N",
+                "generate an N-agent scenario grid instead of Fig. 7");
+  flags.declare("grid-shape", "fanout|random", "scenario hierarchy shape");
+  flags.declare("grid-fanout", "F", "children per agent (fanout shape)");
+  flags.declare("grid-depth", "D",
+                "max tree depth, 0 = unbounded (random shape)");
+  flags.declare("grid-seed", "S", "random-tree wiring seed");
+  flags.declare("grid-nodes", "N", "processing nodes per resource");
+  flags.declare("requests-per-agent", "N",
+                "scenario workload: requests per resource");
+  flags.declare("arrival-interval", "sec", "seconds between submissions");
+  flags.declare("deadline-scale", "x",
+                "deadline tightness (<1 squeezes Table 1 domains)");
+  flags.declare("timeline-out", "file",
+                "write per-resource utilisation timeline CSV");
+  flags.declare("timeline-window", "sec", "timeline bucket width");
+  flags.declare("require-complete", "",
+                "exit non-zero unless every task completed");
   flags.declare("csv", "", "emit CSV instead of tables");
   flags.declare("trace", "S1..S12", "render one resource's Gantt (campaign)");
   flags.declare("trace-out", "file", "write Chrome trace-event JSON");
@@ -285,9 +375,16 @@ int main(int argc, char** argv) {
                      .c_str());
     return 1;
   }
-  const std::string command = argv[1];
+  std::string command = argv[1];
+  int flag_start = 2;
+  if (command.rfind("--", 0) == 0) {
+    // Bare flags with no command run a campaign, so scenario one-liners
+    // like `gridlb --grid-agents 192 --requests-per-agent 25` work.
+    command = "campaign";
+    flag_start = 1;
+  }
   try {
-    flags.parse(argc - 2, argv + 2);
+    flags.parse(argc - flag_start, argv + flag_start);
     if (command == "table1") return cmd_table1();
     if (command == "predict") return cmd_predict(flags);
     if (command == "experiment") return cmd_experiment(flags);
