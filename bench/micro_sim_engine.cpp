@@ -1,0 +1,162 @@
+// micro_sim_engine — event-loop and shard-scaling microbench (DESIGN.md
+// §13).  The google-benchmark rows measure raw event throughput of the
+// sequence-ordered engine against the lineage-ordered shard mode (the
+// per-event cost of carrying exec records).  `--json <path>` additionally
+// writes the machine-readable scaling report compared by CI against the
+// committed BENCH_sim_engine.json: a 96-agent fanout-3 campaign run once
+// on the classic single queue and once sharded across min(4, hardware)
+// threads, gated on the machine-normalized speedup_vs_single_shard ratio
+// — raw seconds are reported but never gated on.  The report also
+// re-checks shard-count invariance: both runs must produce identical
+// results, not just similar ones.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "json_bench.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace gridlb;
+
+// Self-perpetuating event chain: the per-event cost of schedule + pop +
+// dispatch, the inner loop of every experiment.
+void run_event_chain(sim::Engine& engine, std::int64_t events) {
+  std::int64_t remaining = events;
+  std::function<void()> tick = [&] {
+    if (--remaining > 0) engine.schedule_in(1.0, tick);
+  };
+  engine.schedule_in(1.0, tick);
+  engine.run();
+}
+
+void BM_EngineSeq(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    run_event_chain(engine, state.range(0));
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineSeq)->Arg(100000)->UseRealTime();
+
+void BM_EngineLineage(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::LineageShared shared;
+    sim::Engine engine(&shared, 0);
+    engine.set_serial_finalize(true);
+    run_event_chain(engine, state.range(0));
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineLineage)->Arg(100000)->UseRealTime();
+
+// --- the --json scaling report -----------------------------------------
+
+core::ExperimentConfig campaign_config(int shards) {
+  core::ScenarioSpec spec;
+  spec.agent_count = 96;
+  spec.fanout = 3;
+  spec.requests_per_agent = 25;
+  spec.arrival_interval = 0.0;  // auto: the paper's per-agent rate
+  core::ExperimentConfig config = core::scenario_experiment(spec);
+  config.system.sim_shards = shards;
+  return config;
+}
+
+double campaign_seconds(int shards, core::ExperimentResult* out) {
+  using clock = std::chrono::steady_clock;
+  double best = 0.0;
+  for (int rep = 0; rep < 2; ++rep) {  // best-of-2: the run is seconds long
+    const auto start = clock::now();
+    core::ExperimentResult result =
+        core::run_experiment(campaign_config(shards));
+    const double elapsed =
+        std::chrono::duration<double>(clock::now() - start).count();
+    if (rep == 0 || elapsed < best) best = elapsed;
+    if (out != nullptr) *out = std::move(result);
+  }
+  return best;
+}
+
+void write_scaling_report(const std::string& path) {
+  const int hardware = ThreadPool::hardware_threads();
+  const int multi_shards = std::min(4, hardware);
+
+  const double seq_ns = benchjson::measure_ns_per_op([](std::int64_t iters) {
+    sim::Engine engine;
+    run_event_chain(engine, iters);
+  });
+  const double lineage_ns =
+      benchjson::measure_ns_per_op([](std::int64_t iters) {
+        sim::LineageShared shared;
+        sim::Engine engine(&shared, 0);
+        engine.set_serial_finalize(true);
+        run_event_chain(engine, iters);
+      });
+
+  core::ExperimentResult single;
+  core::ExperimentResult multi;
+  const double single_seconds = campaign_seconds(1, &single);
+  const double multi_seconds = campaign_seconds(multi_shards, &multi);
+
+  // The scaling ratio is only meaningful if the sharded run still computes
+  // the same simulation (DESIGN.md §13's invariance contract).
+  const bool identical = single.finished_at == multi.finished_at &&
+                         single.tasks_completed == multi.tasks_completed &&
+                         single.network_messages == multi.network_messages &&
+                         single.sim_events == multi.sim_events &&
+                         single.mean_hops == multi.mean_hops;
+  GRIDLB_REQUIRE(identical,
+                 "sharded campaign diverged from the single-shard reference");
+
+  std::ofstream out(path);
+  benchjson::JsonWriter json(out);
+  json.begin_object();
+  json.field("bench", "micro_sim_engine");
+  json.field("schema_version", 1);
+  json.begin_object("workload");
+  json.field("agents", 96);
+  json.field("fanout", 3);
+  json.field("requests_per_agent", 25);
+  json.field("tasks", static_cast<std::uint64_t>(single.tasks_completed));
+  json.end_object();
+  json.begin_object("event_loop");
+  json.field("seq_ns_per_event", seq_ns);
+  json.field("lineage_ns_per_event", lineage_ns);
+  json.field("lineage_overhead", lineage_ns / seq_ns);
+  json.end_object();
+  json.begin_object("campaign");
+  json.field("hardware_threads", hardware);
+  json.field("shards", multi_shards);
+  json.field("single_shard_seconds", single_seconds);
+  json.field("multi_shard_seconds", multi_seconds);
+  json.field("sim_events", static_cast<std::uint64_t>(single.sim_events));
+  json.end_object();
+  json.field("speedup_vs_single_shard", single_seconds / multi_seconds);
+  json.field("results_identical", identical ? 1 : 0);
+  json.field("peak_rss_bytes", benchjson::peak_rss_bytes());
+  json.end_object();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path =
+      gridlb::benchjson::extract_json_path(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  if (!json_path.empty()) write_scaling_report(json_path);
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "agents/agent_system.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/assert.hpp"
@@ -12,10 +13,78 @@ AgentSystem::AgentSystem(sim::Engine& engine,
                          SystemConfig config,
                          metrics::MetricsCollector* collector)
     : engine_(engine), config_(std::move(config)) {
+  build(catalogue, collector);
+}
+
+AgentSystem::AgentSystem(sim::ShardedEngine& sharded,
+                         const pace::ApplicationCatalogue& catalogue,
+                         SystemConfig config,
+                         metrics::MetricsCollector* collector)
+    : engine_(sharded.shard(0)), sharded_(&sharded), config_(std::move(config)) {
+  build(catalogue, collector);
+}
+
+std::vector<std::size_t> AgentSystem::assign_shards(
+    const std::vector<ResourceSpec>& resources, std::size_t shards) {
+  const std::size_t n = resources.size();
+  std::vector<std::size_t> shard_of(n, 0);
+  if (shards <= 1 || n == 0) return shard_of;
+  std::vector<std::vector<std::size_t>> children(n);
+  std::size_t root = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (resources[i].parent >= 0) {
+      children[static_cast<std::size_t>(resources[i].parent)].push_back(i);
+    } else {
+      root = i;
+    }
+  }
+  // DFS preorder keeps each subtree contiguous, so cutting the order into
+  // equal chunks pins whole subtrees (parent/child message chatter)
+  // together wherever the chunk boundaries allow.
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  std::vector<std::size_t> stack{root};
+  while (!stack.empty()) {
+    const std::size_t index = stack.back();
+    stack.pop_back();
+    order.push_back(index);
+    for (auto it = children[index].rbegin(); it != children[index].rend();
+         ++it) {
+      stack.push_back(*it);
+    }
+  }
+  GRIDLB_ASSERT(order.size() == n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    shard_of[order[pos]] = pos * shards / n;
+  }
+  return shard_of;
+}
+
+std::size_t AgentSystem::shard_of(std::size_t index) const {
+  GRIDLB_REQUIRE(index < shard_assignment_.size(), "agent index out of range");
+  return shard_assignment_[index];
+}
+
+void AgentSystem::build(const pace::ApplicationCatalogue& catalogue,
+                        metrics::MetricsCollector* collector) {
   GRIDLB_REQUIRE(!config_.resources.empty(), "grid needs >= 1 resource");
+
+  const std::size_t shards =
+      sharded_ != nullptr ? sharded_->shard_count() : std::size_t{1};
+  collect_sharded_ = shards > 1;
+  collector_ = collector;
+  shard_assignment_ = assign_shards(config_.resources, shards);
+  completion_buffers_.resize(shards);
+  if (collect_sharded_) {
+    // One GA thread pool per scheduler does not scale to thousands of
+    // agents, and the PR-1 determinism contract makes eval_threads
+    // irrelevant to results — the shards themselves are the parallelism.
+    config_.ga.eval_threads = 1;
+  }
 
   network_ = std::make_unique<sim::Network>(engine_, config_.network_latency,
                                             config_.fault);
+  if (sharded_ != nullptr) network_->attach_router(sharded_);
   engine_pace_ = std::make_unique<pace::EvaluationEngine>();
   evaluator_ = std::make_unique<pace::CachedEvaluator>(*engine_pace_);
 
@@ -37,6 +106,9 @@ AgentSystem::AgentSystem(sim::Engine& engine,
       collector->add_resource(id, spec.name, spec.node_count);
     }
 
+    sim::Engine& agent_engine = engine_for(i);
+    network_->set_registration_shard(shard_assignment_[i]);
+
     sched::LocalScheduler::Config scheduler_config;
     scheduler_config.resource_id = id;
     scheduler_config.resource = pace::ResourceModel::of(spec.hardware);
@@ -48,9 +120,21 @@ AgentSystem::AgentSystem(sim::Engine& engine,
     scheduler_config.prediction_error = config_.prediction_error;
     const std::size_t agent_index = i;
     schedulers_.push_back(std::make_unique<sched::LocalScheduler>(
-        engine_, *evaluator_, std::move(scheduler_config),
+        agent_engine, *evaluator_, std::move(scheduler_config),
         [this, collector, agent_index](const sched::CompletionRecord& record) {
-          if (collector != nullptr) collector->record(record);
+          if (collect_sharded_) {
+            // Buffer on the shard that executed the completion, tagged
+            // with its exec record; finalize_completions() restores the
+            // global order after the run.
+            sim::Engine* const current = sim::Engine::current();
+            GRIDLB_ASSERT(current != nullptr);
+            completion_buffers_[current->shard_index()].push_back(
+                {record, current->current_record_ticket()});
+            completed_count_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            if (collector != nullptr) collector->record(record);
+            completed_count_.fetch_add(1, std::memory_order_relaxed);
+          }
           // The agent may not exist yet while the system is being built,
           // but completions only fire once the simulation runs.
           if (agent_index < agents_.size()) {
@@ -76,8 +160,8 @@ AgentSystem::AgentSystem(sim::Engine& engine,
           config_.pull_period;
     }
     agents_.push_back(std::make_unique<Agent>(
-        engine_, *network_, *evaluator_, catalogue, std::move(agent_config),
-        *schedulers_.back()));
+        agent_engine, *network_, *evaluator_, catalogue,
+        std::move(agent_config), *schedulers_.back()));
   }
   GRIDLB_REQUIRE(heads == 1, "the hierarchy must have exactly one head");
 
@@ -88,13 +172,13 @@ AgentSystem::AgentSystem(sim::Engine& engine,
       availability_.push_back(
           std::make_unique<sched::NodeAvailability>(nodes));
       sched::schedule_availability(
-          engine_, *availability_.back(),
+          engine_for(i), *availability_.back(),
           sched::random_availability_script(nodes, config_.churn.horizon,
                                             config_.churn.mtbf,
                                             config_.churn.mttr,
                                             churn_seeder.next_u64()));
       monitors_.push_back(std::make_unique<sched::ResourceMonitor>(
-          engine_, *schedulers_[i], *availability_.back(),
+          engine_for(i), *schedulers_[i], *availability_.back(),
           config_.churn.poll_period));
     }
   }
@@ -107,6 +191,28 @@ AgentSystem::AgentSystem(sim::Engine& engine,
   }
 
   if (config_.agent_churn.enabled) schedule_agent_churn();
+}
+
+void AgentSystem::finalize_completions() {
+  if (!collect_sharded_) return;
+  std::vector<BufferedCompletion> all;
+  std::size_t total = 0;
+  for (const auto& buffer : completion_buffers_) total += buffer.size();
+  all.reserve(total);
+  for (auto& buffer : completion_buffers_) {
+    for (auto& buffered : buffer) all.push_back(std::move(buffered));
+    buffer.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const BufferedCompletion& a, const BufferedCompletion& b) {
+              GRIDLB_ASSERT(a.ticket->finalized && b.ticket->finalized);
+              return a.ticket->rank < b.ticket->rank;
+            });
+  if (collector_ != nullptr) {
+    for (const BufferedCompletion& buffered : all) {
+      collector_->record(buffered.record);
+    }
+  }
 }
 
 void AgentSystem::schedule_agent_churn() {
@@ -126,9 +232,9 @@ void AgentSystem::schedule_agent_churn() {
     while (true) {
       t += exponential(churn.mtbf);
       if (t >= churn.horizon) break;
-      engine_.schedule_at(t, [this, i]() { crash_agent(i); });
+      engine_for(i).schedule_at(t, [this, i]() { crash_agent(i); });
       t += exponential(churn.mttr);
-      engine_.schedule_at(t, [this, i]() { agents_[i]->restart(); });
+      engine_for(i).schedule_at(t, [this, i]() { agents_[i]->restart(); });
     }
   }
 }

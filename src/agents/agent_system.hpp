@@ -10,10 +10,13 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "agents/agent.hpp"
 #include "metrics/metrics.hpp"
 #include "pace/hardware.hpp"
 #include "sched/resource_monitor.hpp"
+#include "sim/sharded_engine.hpp"
 
 namespace gridlb::agents {
 
@@ -72,6 +75,11 @@ struct SystemConfig {
   bool push_on_dispatch = false;
   AdvertisementScope scope = AdvertisementScope::kOwnService;
   double network_latency = 0.05;   ///< one-way message delay, seconds
+  /// Engine shards driving the simulation: 1 = the classic single-queue
+  /// reference, 0 = one per hardware thread, N = exactly N (clamped to the
+  /// agent count).  Results are bit-for-bit identical at any value (see
+  /// DESIGN.md §13).
+  int sim_shards = 1;
   std::uint64_t seed = 42;         ///< per-scheduler GA seeds derive from it
   double prediction_error = 0.0;   ///< see LocalScheduler::Config
   ChurnConfig churn;
@@ -87,6 +95,14 @@ class AgentSystem {
   /// given, every resource is registered and completions are recorded.
   AgentSystem(sim::Engine& engine, const pace::ApplicationCatalogue& catalogue,
               SystemConfig config, metrics::MetricsCollector* collector);
+
+  /// Sharded build: agents are pinned to `sharded`'s engine shards by
+  /// subtree-affine assignment (contiguous DFS-preorder chunks, head on
+  /// shard 0) so parent/child chatter stays intra-shard.  With a single
+  /// shard this is exactly the classic constructor on `sharded.shard(0)`.
+  AgentSystem(sim::ShardedEngine& sharded,
+              const pace::ApplicationCatalogue& catalogue, SystemConfig config,
+              metrics::MetricsCollector* collector);
 
   AgentSystem(const AgentSystem&) = delete;
   AgentSystem& operator=(const AgentSystem&) = delete;
@@ -112,6 +128,24 @@ class AgentSystem {
   [[nodiscard]] sim::Network& network() { return *network_; }
   [[nodiscard]] pace::CachedEvaluator& evaluator() { return *evaluator_; }
   [[nodiscard]] const SystemConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t head_index() const { return head_index_; }
+  /// Shard the given agent is pinned to (always 0 without sharding).
+  [[nodiscard]] std::size_t shard_of(std::size_t index) const;
+  /// Completions recorded so far.  In sharded mode this is the only
+  /// completion signal safe to read from the drive coordinator; records
+  /// themselves are buffered per shard until finalize_completions().
+  [[nodiscard]] std::uint64_t completed_count() const {
+    return completed_count_.load(std::memory_order_relaxed);
+  }
+  /// Flushes shard-buffered completion records into the collector in
+  /// global execution order (their finalized lineage ranks).  Call once,
+  /// after the drive finishes.  No-op in single-queue mode, where records
+  /// flow into the collector directly.
+  void finalize_completions();
+  /// Subtree-affine shard assignment: DFS preorder of the hierarchy cut
+  /// into `shards` contiguous chunks.  Exposed for tests.
+  static std::vector<std::size_t> assign_shards(
+      const std::vector<ResourceSpec>& resources, std::size_t shards);
   /// Per-resource monitors (empty unless churn is enabled).
   [[nodiscard]] const std::vector<std::unique_ptr<sched::ResourceMonitor>>&
   monitors() const {
@@ -119,10 +153,22 @@ class AgentSystem {
   }
 
  private:
+  struct BufferedCompletion {
+    sched::CompletionRecord record;
+    sim::ExecRecordPtr ticket;  ///< exec record of the completion event
+  };
+
+  void build(const pace::ApplicationCatalogue& catalogue,
+             metrics::MetricsCollector* collector);
+  [[nodiscard]] sim::Engine& engine_for(std::size_t index) {
+    return sharded_ != nullptr ? sharded_->shard(shard_assignment_[index])
+                               : engine_;
+  }
   void schedule_agent_churn();
   void crash_agent(std::size_t index);
 
   sim::Engine& engine_;
+  sim::ShardedEngine* sharded_ = nullptr;
   SystemConfig config_;
   std::function<void(TaskId)> stranded_sink_;
   std::unique_ptr<sim::Network> network_;
@@ -133,6 +179,14 @@ class AgentSystem {
   std::vector<std::unique_ptr<sched::NodeAvailability>> availability_;
   std::vector<std::unique_ptr<sched::ResourceMonitor>> monitors_;
   std::size_t head_index_ = 0;
+  // Sharded-collection state (engaged only with > 1 shard): completions
+  // are buffered per shard — each vector written exclusively by its
+  // shard's thread — and merged into the collector afterwards.
+  bool collect_sharded_ = false;
+  metrics::MetricsCollector* collector_ = nullptr;
+  std::vector<std::size_t> shard_assignment_;
+  std::vector<std::vector<BufferedCompletion>> completion_buffers_;
+  std::atomic<std::uint64_t> completed_count_{0};
 };
 
 }  // namespace gridlb::agents

@@ -8,10 +8,13 @@
 
 #include "agents/portal.hpp"
 #include "common/assert.hpp"
+#include "common/log.hpp"
 #include "common/sim_clock.hpp"
+#include "common/thread_pool.hpp"
 #include "core/case_study.hpp"
 #include "pace/paper_applications.hpp"
 #include "sim/engine.hpp"
+#include "sim/sharded_engine.hpp"
 
 namespace gridlb::core {
 
@@ -28,6 +31,24 @@ std::vector<std::string> resource_labels(const ExperimentConfig& config) {
   names.reserve(config.system.resources.size());
   for (const auto& spec : config.system.resources) names.push_back(spec.name);
   return names;
+}
+
+/// Resolves `system.sim_shards` to a concrete shard count: 0 means one per
+/// hardware thread, anything is clamped to the agent count, and strict
+/// failure mode stays on the single-queue path (its drops flip the stop
+/// predicate outside the milestone machinery the sharded driver relies
+/// on).
+std::size_t resolve_sim_shards(const ExperimentConfig& config) {
+  int shards = config.system.sim_shards;
+  if (shards <= 0) shards = ThreadPool::hardware_threads();
+  shards = std::min(shards, static_cast<int>(config.system.resources.size()));
+  shards = std::max(shards, 1);
+  if (config.system.strict_failure && shards > 1) {
+    log::warn("strict failure mode forces sim_shards=1 (requested ", shards,
+              ")");
+    shards = 1;
+  }
+  return static_cast<std::size_t>(shards);
 }
 
 /// The retry policy the system's links run under (disabled unless fault
@@ -52,6 +73,8 @@ void populate_registry(obs::MetricsRegistry& registry,
   registry.counter("sched.tasks_completed").add(result.tasks_completed);
   registry.counter("agents.requests_dropped").add(result.tasks_dropped);
   registry.counter("sim.events").add(result.sim_events);
+  registry.counter("sim.events_swept").add(result.events_swept);
+  registry.gauge("sim.shards").set(static_cast<double>(result.sim_shards));
   registry.counter("net.messages").add(result.network_messages);
   registry.counter("net.bytes").add(result.network_bytes);
   registry.counter("pace.cache.hits").add(result.cache.hits);
@@ -159,23 +182,38 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                  "experiment needs resources");
 
   ObsScope obs_scope(config);
-  sim::Engine engine;
+  const std::size_t shards = resolve_sim_shards(config);
+  sim::ShardedEngine sharded(shards, config.system.network_latency);
   metrics::MetricsCollector collector;
   const pace::ApplicationCatalogue catalogue = pace::paper_catalogue();
 
-  agents::AgentSystem system(engine, catalogue, config.system, &collector);
+  agents::AgentSystem system(sharded, catalogue, config.system, &collector);
   system.start();
-  agents::Portal portal(engine, system.network(), catalogue, &collector,
+  // The portal lives on the head agent's shard: submissions enter the grid
+  // through the head, so this keeps the portal's traffic (and the
+  // collector's on_submission bookkeeping) single-shard.
+  const std::size_t portal_shard = system.shard_of(system.head_index());
+  sim::Engine& portal_engine = sharded.shard(portal_shard);
+  system.network().set_registration_shard(portal_shard);
+  agents::Portal portal(portal_engine, system.network(), catalogue, &collector,
                         effective_retry(config.system));
   portal.set_fallback_entry(&system.head());
-  system.set_stranded_sink([&portal](TaskId task) { portal.resubmit(task); });
+  // A crash strands tasks on an arbitrary shard; hop back to the portal's
+  // shard with one network latency of delay.  The same deferral applies at
+  // every shard count so the fault path, too, is shard-count invariant.
+  const double resubmit_delay = config.system.network_latency;
+  system.set_stranded_sink(
+      [&portal, &sharded, portal_shard, resubmit_delay](TaskId task) {
+        sharded.post(portal_shard, resubmit_delay,
+                     [&portal, task]() { portal.resubmit(task); });
+      });
 
   const std::vector<RequestSpec> workload = generate_workload(
       config.workload, catalogue, static_cast<int>(system.size()));
   for (const RequestSpec& spec : workload) {
-    engine.schedule_at(spec.at, [&, spec]() {
+    portal_engine.schedule_at(spec.at, [&, spec]() {
       portal.submit(system.agent(static_cast<std::size_t>(spec.agent_index)),
-                    spec.app_name, engine.now() + spec.deadline_offset);
+                    spec.app_name, portal_engine.now() + spec.deadline_offset);
     });
   }
 
@@ -183,17 +221,33 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // periodic advertisement pulls keep the event queue non-empty forever,
   // so completion — not queue exhaustion — is the stop condition.
   const auto expected = static_cast<std::uint64_t>(workload.size());
-  const auto dropped_so_far = [&system]() {
-    std::uint64_t dropped = 0;
-    for (std::size_t i = 0; i < system.size(); ++i) {
-      dropped += system.agent(i).stats().dropped;
+  if (!sharded.sharded()) {
+    sim::Engine& engine = sharded.shard(0);
+    const auto dropped_so_far = [&system]() {
+      std::uint64_t dropped = 0;
+      for (std::size_t i = 0; i < system.size(); ++i) {
+        dropped += system.agent(i).stats().dropped;
+      }
+      return dropped;
+    };
+    while (collector.completed_tasks() + dropped_so_far() < expected) {
+      GRIDLB_REQUIRE(engine.step(), "event queue drained with tasks missing");
+      GRIDLB_REQUIRE(engine.now() <= config.horizon_limit,
+                     "experiment exceeded the horizon limit");
     }
-    return dropped;
-  };
-  while (collector.completed_tasks() + dropped_so_far() < expected) {
-    GRIDLB_REQUIRE(engine.step(), "event queue drained with tasks missing");
-    GRIDLB_REQUIRE(engine.now() <= config.horizon_limit,
-                   "experiment exceeded the horizon limit");
+  } else {
+    // Non-strict mode never drops, so completions alone decide the stop
+    // (strict mode was forced onto the single-queue path above).
+    sim::DriveGoal goal;
+    goal.done = [&system, expected]() {
+      return system.completed_count() >= expected;
+    };
+    goal.remaining = [&system, expected]() {
+      const std::uint64_t completed = system.completed_count();
+      return completed >= expected ? std::uint64_t{0} : expected - completed;
+    };
+    sharded.drive(goal, config.horizon_limit);
+    system.finalize_completions();
   }
 
   ExperimentResult result;
@@ -202,8 +256,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.completions = collector.records();
   result.requests_submitted = expected;
   result.tasks_completed = collector.completed_tasks();
-  result.finished_at = engine.now();
-  result.sim_events = engine.events_processed();
+  result.finished_at = sharded.max_now();
+  result.sim_events = sharded.events_processed();
+  result.sim_shards = shards;
+  result.events_swept = sharded.events_swept();
   result.network_messages = system.network().total_messages();
   result.network_bytes = system.network().total_bytes();
   result.cache = system.evaluator().stats();
@@ -250,6 +306,9 @@ ExperimentResult run_central_experiment(const ExperimentConfig& config) {
                  "experiment needs resources");
 
   ObsScope obs_scope(config);
+  // The oracle reads every scheduler's live freetime directly, which only
+  // a single-queue simulation can order; `sim_shards` is ignored here, so
+  // the oracle's numbers are trivially shard-count invariant.
   sim::Engine engine;
   metrics::MetricsCollector collector;
   const pace::ApplicationCatalogue catalogue = pace::paper_catalogue();
@@ -324,6 +383,7 @@ ExperimentResult run_central_experiment(const ExperimentConfig& config) {
   result.tasks_completed = collector.completed_tasks();
   result.finished_at = engine.now();
   result.sim_events = engine.events_processed();
+  result.events_swept = engine.events_swept();
   result.network_messages = system.network().total_messages();
   result.network_bytes = system.network().total_bytes();
   result.cache = system.evaluator().stats();

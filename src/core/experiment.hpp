@@ -63,6 +63,8 @@ struct ExperimentResult {
   std::uint64_t ga_memo_hits = 0;  ///< evaluations skipped by genotype memo
   std::uint64_t fifo_subsets = 0;
   std::uint64_t sim_events = 0;
+  std::uint64_t sim_shards = 1;        ///< engine shards the run used
+  std::uint64_t events_swept = 0;      ///< cancelled entries lazily discarded
   SimTime finished_at = 0.0;           ///< virtual time of the last event
   // Observability (zero unless config.obs enabled tracing).
   std::uint64_t trace_events = 0;      ///< events captured in the rings

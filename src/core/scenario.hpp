@@ -55,7 +55,9 @@ struct ScenarioSpec {
   int nodes_per_resource = 16;
   // --- workload scaling ---
   int requests_per_agent = 25;    ///< total requests = agents × this
-  double arrival_interval = 1.0;  ///< seconds between submissions
+  /// Seconds between submissions; 0 = auto (12 s ÷ agent_count, i.e. the
+  /// Fig. 7 per-agent rate held constant as the grid scales).
+  double arrival_interval = 1.0;
   double deadline_scale = 1.0;    ///< see WorkloadConfig::deadline_scale
   std::uint64_t workload_seed = 2003;
 };

@@ -68,29 +68,29 @@ double CachedEvaluator::evaluate(const ApplicationModel& app,
   const Key key{&app, resource.type, resource.factor, nproc};
   const std::size_t hash = KeyHash{}(key);
   Shard& shard = shards_[hash % kShardCount];
+  bool hit = true;
+  double value = 0.0;
   {
-    std::optional<double> cached;
-    {
-      const std::lock_guard lock(shard.mutex);
-      if (const auto it = shard.map.find(key); it != shard.map.end()) {
-        ++shard.stats.hits;
-        cached = it->second;
-      } else {
-        ++shard.stats.misses;
-      }
+    // Compute *inside* the lock: concurrent first-touches on the same key
+    // then resolve as exactly one miss plus hits, so the hit/miss counters
+    // are the same whatever the thread interleaving — part of the
+    // shard-count determinism contract.  The model evaluation is cheap
+    // (closed-form), so holding the shard through it costs little.
+    const std::lock_guard lock(shard.mutex);
+    if (const auto it = shard.map.find(key); it != shard.map.end()) {
+      ++shard.stats.hits;
+      value = it->second;
+    } else {
+      ++shard.stats.misses;
+      hit = false;
+      value = engine_->evaluate(app, resource, nproc);
+      shard.map.emplace(key, value);
     }
-    obs::emit({.at = simclock::now(),
-               .kind = cached ? obs::EventKind::kCacheHit
-                              : obs::EventKind::kCacheMiss,
-               .extra = static_cast<std::uint32_t>(nproc)});
-    if (cached) return *cached;
   }
-  // Compute outside the lock so one slow miss never serialises its whole
-  // shard; a concurrent miss on the same key computes the same value and
-  // the losing emplace is a no-op.
-  const double value = engine_->evaluate(app, resource, nproc);
-  const std::lock_guard lock(shard.mutex);
-  shard.map.emplace(key, value);
+  obs::emit({.at = simclock::now(),
+             .kind = hit ? obs::EventKind::kCacheHit
+                         : obs::EventKind::kCacheMiss,
+             .extra = static_cast<std::uint32_t>(nproc)});
   return value;
 }
 

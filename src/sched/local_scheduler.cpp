@@ -190,7 +190,12 @@ void LocalScheduler::commit(std::size_t pending_index, NodeMask mask,
   record.end = end;
   record.deadline = task.deadline;
 
-  engine_.schedule_at(end, [this, record = std::move(record)]() {
+  // A completion is a *milestone*: it can flip the experiment's stop
+  // predicate, so the sharded driver must be able to count pending ones at
+  // its synchronization barriers (schedule_milestone_at is plain
+  // schedule_at on a non-sharded engine).  `end` is always at least a task
+  // execution time in the future, far beyond the lookahead lead.
+  engine_.schedule_milestone_at(end, [this, record = std::move(record)]() {
     --running_;
     ++completed_;
     obs::emit({.at = engine_.now(),

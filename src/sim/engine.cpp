@@ -8,12 +8,64 @@
 
 namespace gridlb::sim {
 
+namespace {
+// Periodic-chain ids carry the top bit so they never collide with (or
+// linger in the cancellation set of) queued event ids.
+constexpr EventId kChainBit = EventId{1} << 63;
+
+thread_local Engine* tls_current_engine = nullptr;
+}  // namespace
+
+Engine::Engine(LineageShared* shared, std::size_t shard_index)
+    : shared_(shared), shard_index_(shard_index) {
+  GRIDLB_REQUIRE(shared != nullptr, "lineage engine needs shared state");
+}
+
+Engine* Engine::current() { return tls_current_engine; }
+
+const ExecRecordPtr& Engine::current_record() {
+  GRIDLB_ASSERT(shared_ != nullptr && executing_);
+  if (!exec_record_) {
+    exec_record_ = std::make_shared<ExecRecord>();
+    exec_record_->at = now_;
+    exec_record_->idx = exec_idx_;
+    if (serial_finalize_) {
+      exec_record_->rank = shared_->next_gidx++;
+      exec_record_->finalized = true;
+    } else {
+      exec_record_->parent = exec_parent_;
+      exec_record_->rank = local_exec_seq_;
+      window_records_.push_back(exec_record_);
+    }
+  }
+  return exec_record_;
+}
+
+void Engine::push_entry(SimTime at, EventFn fn, EventId id) {
+  Entry entry{at, next_sequence_++, id, std::move(fn), nullptr, 0};
+  if (shared_ != nullptr) {
+    if (executing_) {
+      entry.parent = current_record();
+      entry.idx = child_counter_++;
+    } else {
+      // Setup-time schedule: a child of genesis.  Cross-engine scheduling
+      // from inside an event must go through the coordinator instead — a
+      // genesis child created mid-run would jump the global order.
+      GRIDLB_REQUIRE(tls_current_engine == nullptr,
+                     "cross-shard schedule must go through the coordinator");
+      entry.parent = shared_->genesis;
+      entry.idx = shared_->next_setup_idx++;
+    }
+  }
+  queue_.push(std::move(entry));
+}
+
 EventId Engine::schedule_at(SimTime at, EventFn fn) {
   GRIDLB_REQUIRE(std::isfinite(at), "event time must be finite");
   GRIDLB_REQUIRE(at >= now_, "cannot schedule an event in the past");
   GRIDLB_REQUIRE(fn != nullptr, "event callback must be set");
   const EventId id = next_id_++;
-  queue_.push(Entry{at, next_sequence_++, id, std::move(fn)});
+  push_entry(at, std::move(fn), id);
   return id;
 }
 
@@ -22,11 +74,36 @@ EventId Engine::schedule_in(SimTime delay, EventFn fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
+EventId Engine::schedule_milestone_at(SimTime at, EventFn fn) {
+  if (shared_ == nullptr) return schedule_at(at, std::move(fn));
+  // The lead guarantee is what lets the coordinator count due milestones at
+  // a barrier and know the stop predicate cannot flip inside the window it
+  // is about to open.
+  GRIDLB_REQUIRE(at >= now_ + milestone_lead_,
+                 "milestone scheduled inside the lookahead window");
+  pending_milestones_.insert(at);
+  return schedule_at(at, [this, at, fn = std::move(fn)]() {
+    pending_milestones_.erase(pending_milestones_.find(at));
+    fn();
+  });
+}
+
+std::uint64_t Engine::count_milestones_below(SimTime bound,
+                                             std::uint64_t cap) const {
+  std::uint64_t count = 0;
+  for (auto it = pending_milestones_.begin();
+       it != pending_milestones_.end() && *it < bound && count < cap; ++it) {
+    ++count;
+  }
+  return count;
+}
+
 EventId Engine::schedule_periodic(SimTime start, SimTime period, EventFn fn) {
   GRIDLB_REQUIRE(period > 0.0, "period must be positive");
-  // The chain id is a fresh event id that is never placed on the queue; the
-  // recurring lambda consults cancelled_chains_ before each firing.
-  const EventId chain_id = next_id_++;
+  // The chain id lives in its own id space and is never placed on the
+  // queue; the recurring lambda consults cancelled_chains_ before each
+  // firing.
+  const EventId chain_id = kChainBit | next_chain_++;
   // Owning the callback via shared_ptr lets the lambda reschedule itself.
   auto shared_fn = std::make_shared<EventFn>(std::move(fn));
   auto tick = std::make_shared<EventFn>();
@@ -47,19 +124,26 @@ EventId Engine::schedule_periodic(SimTime start, SimTime period, EventFn fn) {
 }
 
 bool Engine::cancel(EventId id) {
-  // A chain id is >= 1 and was never enqueued; for simplicity we record the
-  // cancellation in both sets — whichever matches takes effect, the other
-  // entry is harmless and cleaned up lazily.
+  if (id & kChainBit) {
+    const EventId chain = id & ~kChainBit;
+    if (chain == 0 || chain >= next_chain_) return false;
+    cancelled_chains_.insert(id);
+    return true;
+  }
   if (id == 0 || id >= next_id_) return false;
   cancelled_.insert(id);
-  cancelled_chains_.insert(id);
   return true;
 }
 
 void Engine::pop_cancelled() const {
+  // O(1) steady state: once every recorded cancellation has been matched
+  // against its queue entry the set is empty and the sweep is a single
+  // branch, no matter how often next_event_time() is polled.
+  if (cancelled_.empty()) return;
   while (!queue_.empty() && cancelled_.contains(queue_.top().id)) {
     cancelled_.erase(queue_.top().id);
     queue_.pop();
+    ++events_swept_;
   }
 }
 
@@ -76,8 +160,58 @@ bool Engine::step() {
   // trace events emitted from thread-pool workers).
   simclock::publish(now_);
   ++events_processed_;
+  Engine* const previous = tls_current_engine;
+  tls_current_engine = this;
+  if (shared_ != nullptr) {
+    executing_ = true;
+    exec_parent_ = std::move(entry.parent);
+    exec_idx_ = entry.idx;
+    exec_record_.reset();
+    ++local_exec_seq_;
+    child_counter_ = 0;
+  }
   entry.fn();
+  if (shared_ != nullptr) {
+    executing_ = false;
+    exec_parent_.reset();
+    exec_record_.reset();
+  }
+  tls_current_engine = previous;
   return true;
+}
+
+Engine::ChildRef Engine::make_child_ref() {
+  GRIDLB_ASSERT(shared_ != nullptr);
+  if (executing_) return ChildRef{current_record(), child_counter_++};
+  GRIDLB_REQUIRE(tls_current_engine == nullptr,
+                 "cross-shard schedule must go through the coordinator");
+  return ChildRef{shared_->genesis, shared_->next_setup_idx++};
+}
+
+void Engine::inject(SimTime at, ChildRef ref, EventFn fn) {
+  GRIDLB_ASSERT(shared_ != nullptr);
+  GRIDLB_REQUIRE(std::isfinite(at), "event time must be finite");
+  GRIDLB_REQUIRE(at >= now_, "injected event is before the shard clock");
+  GRIDLB_REQUIRE(ref.parent != nullptr, "injected event needs a lineage ref");
+  GRIDLB_REQUIRE(fn != nullptr, "event callback must be set");
+  queue_.push(
+      Entry{at, next_sequence_++, next_id_++, std::move(fn), ref.parent, ref.idx});
+}
+
+void Engine::run_window(SimTime bound) {
+  for (;;) {
+    pop_cancelled();
+    if (queue_.empty() || queue_.top().at >= bound) return;
+    step();
+  }
+}
+
+std::optional<Engine::PeekKey> Engine::peek_key() const {
+  pop_cancelled();
+  if (queue_.empty()) return std::nullopt;
+  const Entry& top = queue_.top();
+  GRIDLB_ASSERT(top.parent != nullptr && top.parent->finalized);
+  return PeekKey{top.at, top.parent->rank, top.idx};
 }
 
 bool Engine::has_pending() const {

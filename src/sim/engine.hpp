@@ -11,13 +11,31 @@
 // Determinism: events at equal times fire in scheduling order (a strictly
 // increasing sequence number breaks ties), so a fixed workload seed yields
 // bit-identical runs.
+//
+// Sharded mode (see sharded_engine.hpp): when an engine is constructed with
+// a LineageShared block it becomes one shard of a partitioned simulation and
+// switches the equal-time tie-break from the global sequence number (which a
+// partitioned run cannot reproduce) to the *lineage key*
+//
+//     (at, parent-event's global execution rank, child index)
+//
+// where the parent is the event whose callback scheduled this one and the
+// child index counts that callback's schedules in call order.  For a
+// single queue this orders equal-time events exactly like the sequence
+// number does (children of an earlier-executed parent were pushed first),
+// so the key is a partition-independent restatement of today's contract —
+// which is what makes shard-count invariance possible.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <optional>
 #include <queue>
+#include <set>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -31,9 +49,42 @@ using EventId = std::uint64_t;
 /// the event's timestamp when the callback runs.
 using EventFn = std::function<void()>;
 
+/// Execution record of one fired event under lineage ordering.  Pending
+/// children hold a shared_ptr to their parent's record so the comparator can
+/// consult the parent's rank.  `rank` starts as a shard-local provisional
+/// execution index and is rewritten to a global rank (gidx) when the shard
+/// coordinator seals the window the event ran in; `finalized` flips at the
+/// same moment and the parent pointer is released so genealogy chains do
+/// not accumulate.
+struct ExecRecord {
+  SimTime at = 0.0;
+  std::shared_ptr<ExecRecord> parent;
+  std::uint64_t idx = 0;
+  std::uint64_t rank = 0;
+  bool finalized = false;
+};
+using ExecRecordPtr = std::shared_ptr<ExecRecord>;
+
+/// State shared by every shard engine of one partitioned simulation: the
+/// genesis record (parent of all setup-time schedules, so single-threaded
+/// scenario construction keeps its exact serial order regardless of which
+/// shard each call lands on) and the global rank counter used when windows
+/// are sealed.
+struct LineageShared {
+  LineageShared() : genesis(std::make_shared<ExecRecord>()) {
+    genesis->finalized = true;  // rank 0, the root of every lineage chain
+  }
+  ExecRecordPtr genesis;
+  std::uint64_t next_setup_idx = 0;  // child index under genesis
+  std::uint64_t next_gidx = 1;       // next global execution rank
+};
+
 class Engine {
  public:
   Engine() = default;
+  /// Lineage-mode constructor: this engine is shard `shard_index` of a
+  /// partitioned simulation sharing `shared` (owned by the coordinator).
+  Engine(LineageShared* shared, std::size_t shard_index);
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
@@ -50,6 +101,14 @@ class Engine {
   /// Schedules `fn` every `period` seconds starting at `start`.  The
   /// returned id cancels the *whole* periodic chain.
   EventId schedule_periodic(SimTime start, SimTime period, EventFn fn);
+
+  /// Schedules a *milestone* event — one whose execution can flip the
+  /// simulation's stop predicate (task completions).  In lineage mode the
+  /// event must be at least the configured milestone lead in the future so
+  /// the shard coordinator can count due milestones at a synchronization
+  /// barrier and know the predicate cannot flip mid-window; in sequence
+  /// mode this is exactly schedule_at.
+  EventId schedule_milestone_at(SimTime at, EventFn fn);
 
   /// Cancels a pending event (or periodic chain).  Returns false if the
   /// event already fired or was never scheduled.
@@ -77,21 +136,117 @@ class Engine {
     return events_processed_;
   }
 
+  /// Number of cancelled entries discarded by the lazy sweep so far.
+  [[nodiscard]] std::uint64_t events_swept() const { return events_swept_; }
+
+  // --- Shard-coordinator interface (lineage mode only) -------------------
+
+  /// The engine currently executing an event on this thread, or nullptr
+  /// outside any callback.  Lets code reached from an event (network sends,
+  /// completion sinks) find its shard without threading the engine through
+  /// every call site.
+  [[nodiscard]] static Engine* current();
+
+  [[nodiscard]] std::size_t shard_index() const { return shard_index_; }
+  [[nodiscard]] bool lineage_mode() const { return shared_ != nullptr; }
+
+  /// Exec record of the event currently executing on this engine (lineage
+  /// mode, inside a callback only).  Completion sinks hold it as a ticket
+  /// so buffered records can be ordered by finalized global rank later.
+  [[nodiscard]] ExecRecordPtr current_record_ticket() {
+    return current_record();
+  }
+
+  /// Lineage context for an event about to be handed to another shard:
+  /// the currently-executing event's record plus the next child index
+  /// (genesis context outside any callback, i.e. during scenario setup).
+  struct ChildRef {
+    ExecRecordPtr parent;
+    std::uint64_t idx = 0;
+  };
+  ChildRef make_child_ref();
+
+  /// Enqueues a cross-shard event carrying an explicit lineage context.
+  /// Only the shard coordinator calls this, between windows (single
+  /// threaded), so no locking is needed.
+  void inject(SimTime at, ChildRef ref, EventFn fn);
+
+  /// Executes every pending event with `at < bound`.  The clock is left at
+  /// the last executed event (not advanced to `bound`, matching how a
+  /// serial run's clock sits at the last event).
+  void run_window(SimTime bound);
+
+  /// Lineage key of the next pending event, for the coordinator's serial
+  /// exact-stop phase.  All parents are finalized by then, so the key is a
+  /// plain triple.  nullopt when the queue is empty.
+  struct PeekKey {
+    SimTime at = 0.0;
+    std::uint64_t parent_rank = 0;
+    std::uint64_t idx = 0;
+    [[nodiscard]] bool operator<(const PeekKey& other) const {
+      if (at != other.at) return at < other.at;
+      if (parent_rank != other.parent_rank) return parent_rank < other.parent_rank;
+      return idx < other.idx;
+    }
+  };
+  [[nodiscard]] std::optional<PeekKey> peek_key() const;
+
+  /// Records executed during the current window, in execution order, with
+  /// provisional ranks.  The coordinator merges these across shards to
+  /// assign global ranks, then calls clear().
+  [[nodiscard]] std::vector<ExecRecordPtr>& window_records() {
+    return window_records_;
+  }
+
+  /// In serial-finalize mode each executed event's record is finalized
+  /// immediately from the shared global counter instead of being buffered
+  /// in window_records().  Used for the coordinator's exact-stop tail.
+  void set_serial_finalize(bool on) { serial_finalize_ = on; }
+
+  /// Minimum lead time enforced by schedule_milestone_at (the coordinator
+  /// sets this to the conservative lookahead).
+  void set_milestone_lead(SimTime lead) { milestone_lead_ = lead; }
+
+  /// Number of pending milestones strictly below `bound`, counting at most
+  /// `cap` (the caller only cares whether the count reaches `cap`).
+  [[nodiscard]] std::uint64_t count_milestones_below(SimTime bound,
+                                                     std::uint64_t cap) const;
+
  private:
   struct Entry {
     SimTime at;
     std::uint64_t sequence;
     EventId id;
     EventFn fn;
+    // Lineage mode only: scheduling parent + child index.
+    ExecRecordPtr parent;
+    std::uint64_t idx = 0;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
-      return a.sequence > b.sequence;
+      if (a.parent == nullptr || b.parent == nullptr) {
+        return a.sequence > b.sequence;
+      }
+      if (a.parent != b.parent) {
+        // Finalized ranks globally precede provisional ones: a provisional
+        // parent executed in the current (unsealed) window, strictly after
+        // everything already finalized.
+        const auto key = [](const ExecRecordPtr& r) {
+          return std::pair<std::uint64_t, std::uint64_t>(r->finalized ? 0 : 1,
+                                                         r->rank);
+        };
+        const auto ka = key(a.parent);
+        const auto kb = key(b.parent);
+        if (ka != kb) return ka > kb;
+      }
+      return a.idx > b.idx;
     }
   };
 
   void pop_cancelled() const;
+  const ExecRecordPtr& current_record();
+  void push_entry(SimTime at, EventFn fn, EventId id);
 
   // `queue_` and `cancelled_` are mutable so const queries (has_pending,
   // next_event_time) can share pop_cancelled's lazy sweep: discarding a
@@ -100,13 +255,30 @@ class Engine {
   // (O(n) allocation + O(n log n) pops) per query.
   mutable std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
   mutable std::unordered_set<EventId> cancelled_;
-  // Periodic chains: map from public chain id to the currently-scheduled
-  // underlying event, so cancel() can chase the chain.
+  // Periodic chains: chain ids live in their own id space (top bit set) and
+  // are never enqueued, so a cancelled chain id never lingers in
+  // `cancelled_` poisoning the lazy sweep's O(1) fast path.
   std::unordered_set<EventId> cancelled_chains_;
   SimTime now_ = 0.0;
   std::uint64_t next_sequence_ = 0;
   EventId next_id_ = 1;
+  EventId next_chain_ = 1;
   std::uint64_t events_processed_ = 0;
+  mutable std::uint64_t events_swept_ = 0;
+
+  // Lineage mode state.
+  LineageShared* shared_ = nullptr;
+  std::size_t shard_index_ = 0;
+  bool executing_ = false;
+  bool serial_finalize_ = false;
+  ExecRecordPtr exec_parent_;     // parent of the event now executing
+  std::uint64_t exec_idx_ = 0;    // its child index under that parent
+  ExecRecordPtr exec_record_;     // lazily-created record for that event
+  std::uint64_t child_counter_ = 0;
+  std::uint64_t local_exec_seq_ = 0;  // provisional ranks within a window
+  SimTime milestone_lead_ = 0.0;
+  std::vector<ExecRecordPtr> window_records_;
+  std::multiset<SimTime> pending_milestones_;
 };
 
 }  // namespace gridlb::sim

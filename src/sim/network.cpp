@@ -4,6 +4,7 @@
 
 #include "common/assert.hpp"
 #include "obs/trace.hpp"
+#include "sim/sharded_engine.hpp"
 
 namespace gridlb::sim {
 
@@ -14,6 +15,16 @@ enum DropReason : std::uint32_t {
   kDropPartition = 1,
   kDropEndpointDown = 2,
 };
+
+/// Stateless per-message fault seed: injective over (sender, ordinal) for
+/// any realistic endpoint count, then thoroughly mixed by Rng's splitmix64
+/// seeding.  Replaces the old shared send-order RNG stream, whose draws
+/// depended on the global interleaving of sends and so could not survive
+/// shard-count changes.
+std::uint64_t message_seed(std::uint64_t plan_seed, EndpointId from,
+                           std::uint64_t ordinal) {
+  return plan_seed ^ (static_cast<std::uint64_t>(from) << 32) ^ ordinal;
+}
 }  // namespace
 
 Network::Network(Engine& engine, double latency_seconds, FaultPlan plan)
@@ -26,14 +37,20 @@ Network::Network(Engine& engine, double latency_seconds, FaultPlan plan)
     GRIDLB_REQUIRE(partition.until >= partition.from,
                    "partition window must not end before it starts");
   }
-  if (plan_.active()) fault_rng_.emplace(plan_.seed);
+}
+
+void Network::attach_router(ShardedEngine* router) {
+  GRIDLB_REQUIRE(router == nullptr || router->lookahead() <= latency_ ||
+                     !router->sharded(),
+                 "router lookahead must not exceed the network latency");
+  router_ = router;
 }
 
 EndpointId Network::register_endpoint(std::string address, int port,
                                       Handler handler) {
   GRIDLB_REQUIRE(handler != nullptr, "endpoint handler must be set");
-  endpoints_.push_back(
-      Endpoint{std::move(address), port, std::move(handler), {}, true});
+  endpoints_.push_back(Endpoint{std::move(address), port, std::move(handler),
+                                {}, {}, registration_shard_, true});
   return static_cast<EndpointId>(endpoints_.size() - 1);
 }
 
@@ -47,8 +64,7 @@ bool Network::endpoint_up(EndpointId id) const {
   return endpoints_[id].up;
 }
 
-bool Network::partitioned(EndpointId from, EndpointId to) const {
-  const SimTime now = engine_.now();
+bool Network::partitioned(EndpointId from, EndpointId to, SimTime now) const {
   for (const FaultPlan::Partition& partition : plan_.partitions) {
     if (now < partition.from || now >= partition.until) continue;
     const auto inside = [&partition](const std::string& address) {
@@ -65,34 +81,44 @@ bool Network::partitioned(EndpointId from, EndpointId to) const {
 void Network::send(EndpointId from, EndpointId to, std::string payload) {
   GRIDLB_REQUIRE(from < endpoints_.size(), "unknown sender endpoint");
   GRIDLB_REQUIRE(to < endpoints_.size(), "unknown recipient endpoint");
+  // The clock of whichever shard is executing the sending event; falls
+  // back to the primary engine outside any event (tests driving the
+  // network directly).
+  Engine* const current = Engine::current();
+  Engine& source = current != nullptr ? *current : engine_;
+  const SimTime now = source.now();
+
+  Endpoint& sender = endpoints_[from];
+  const std::uint64_t ordinal = sender.stats.messages_sent;
   const auto size = static_cast<std::uint64_t>(payload.size());
-  endpoints_[from].stats.messages_sent += 1;
-  endpoints_[from].stats.bytes_sent += size;
-  ++total_messages_;
-  total_bytes_ += size;
+  sender.stats.messages_sent += 1;
+  sender.stats.bytes_sent += size;
 
   double latency = latency_;
-  if (fault_rng_) {
-    if (partitioned(from, to)) {
-      ++fault_stats_.dropped_partition;
-      obs::emit({.at = engine_.now(),
+  if (plan_.active()) {
+    if (partitioned(from, to, now)) {
+      ++sender.faults.dropped_partition;
+      obs::emit({.at = now,
                  .kind = obs::EventKind::kMessageDropped,
                  .extra = kDropPartition,
                  .a = static_cast<double>(from),
                  .b = static_cast<double>(to)});
       return;
     }
-    if (plan_.drop_prob > 0.0 && fault_rng_->chance(plan_.drop_prob)) {
-      ++fault_stats_.dropped_random;
-      obs::emit({.at = engine_.now(),
-                 .kind = obs::EventKind::kMessageDropped,
-                 .extra = kDropRandom,
-                 .a = static_cast<double>(from),
-                 .b = static_cast<double>(to)});
-      return;
-    }
-    if (plan_.jitter_max > 0.0) {
-      latency += fault_rng_->uniform(0.0, plan_.jitter_max);
+    if (plan_.drop_prob > 0.0 || plan_.jitter_max > 0.0) {
+      Rng draw(message_seed(plan_.seed, from, ordinal));
+      if (plan_.drop_prob > 0.0 && draw.chance(plan_.drop_prob)) {
+        ++sender.faults.dropped_random;
+        obs::emit({.at = now,
+                   .kind = obs::EventKind::kMessageDropped,
+                   .extra = kDropRandom,
+                   .a = static_cast<double>(from),
+                   .b = static_cast<double>(to)});
+        return;
+      }
+      if (plan_.jitter_max > 0.0) {
+        latency += draw.uniform(0.0, plan_.jitter_max);
+      }
     }
   }
 
@@ -100,29 +126,67 @@ void Network::send(EndpointId from, EndpointId to, std::string payload) {
   message.from = from;
   message.to = to;
   message.payload = std::move(payload);
-  message.sent_at = engine_.now();
-  engine_.schedule_in(
-      latency, [this, message = std::move(message)]() mutable {
-        Endpoint& destination = endpoints_[message.to];
-        if (!destination.up) {
-          ++fault_stats_.dropped_endpoint_down;
-          obs::emit({.at = engine_.now(),
-                     .kind = obs::EventKind::kMessageDropped,
-                     .extra = kDropEndpointDown,
-                     .a = static_cast<double>(message.from),
-                     .b = static_cast<double>(message.to)});
-          return;
-        }
-        message.delivered_at = engine_.now();
-        destination.stats.messages_received += 1;
-        destination.stats.bytes_received += message.payload.size();
-        destination.handler(message);
-      });
+  message.sent_at = now;
+  auto deliver = [this, message = std::move(message)]() mutable {
+    Endpoint& destination = endpoints_[message.to];
+    const SimTime arrival = Engine::current() != nullptr
+                                ? Engine::current()->now()
+                                : engine_.now();
+    if (!destination.up) {
+      ++destination.faults.dropped_endpoint_down;
+      obs::emit({.at = arrival,
+                 .kind = obs::EventKind::kMessageDropped,
+                 .extra = kDropEndpointDown,
+                 .a = static_cast<double>(message.from),
+                 .b = static_cast<double>(message.to)});
+      return;
+    }
+    message.delivered_at = arrival;
+    destination.stats.messages_received += 1;
+    destination.stats.bytes_received += message.payload.size();
+    destination.handler(message);
+  };
+  if (router_ != nullptr) {
+    router_->post(endpoints_[to].shard, latency, std::move(deliver));
+  } else {
+    source.schedule_in(latency, std::move(deliver));
+  }
 }
 
 const EndpointStats& Network::stats(EndpointId id) const {
   GRIDLB_REQUIRE(id < endpoints_.size(), "unknown endpoint");
   return endpoints_[id].stats;
+}
+
+std::size_t Network::endpoint_shard(EndpointId id) const {
+  GRIDLB_REQUIRE(id < endpoints_.size(), "unknown endpoint");
+  return endpoints_[id].shard;
+}
+
+std::uint64_t Network::total_messages() const {
+  std::uint64_t total = 0;
+  for (const Endpoint& endpoint : endpoints_) {
+    total += endpoint.stats.messages_sent;
+  }
+  return total;
+}
+
+std::uint64_t Network::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const Endpoint& endpoint : endpoints_) {
+    total += endpoint.stats.bytes_sent;
+  }
+  return total;
+}
+
+FaultStats Network::fault_stats() const {
+  FaultStats total;
+  for (const Endpoint& endpoint : endpoints_) {
+    total.dropped_random += endpoint.faults.dropped_random;
+    total.dropped_partition += endpoint.faults.dropped_partition;
+    total.dropped_endpoint_down += endpoint.faults.dropped_endpoint_down;
+  }
+  return total;
 }
 
 const std::string& Network::address(EndpointId id) const {

@@ -14,11 +14,20 @@
 // default to "perfect delivery"; with an inactive plan `send` performs no
 // RNG draws and the delivery schedule is bit-for-bit identical to a
 // network built without a plan.
+//
+// Sharding (DESIGN.md §13): every endpoint is pinned to the shard that was
+// current at registration time, and all mutable accounting (traffic stats,
+// fault counters) lives per endpoint so each shard only writes state it
+// owns.  Fault draws are stateless — each message's loss/jitter comes from
+// a hash of (plan seed, sender, sender's send ordinal), not from a shared
+// stream — so the fault pattern is independent of the global send
+// interleaving and therefore of the shard count.  Cross-shard deliveries
+// route through the shard coordinator, which is what turns the network
+// latency into the conservative-lookahead window.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -28,6 +37,8 @@
 #include "sim/engine.hpp"
 
 namespace gridlb::sim {
+
+class ShardedEngine;
 
 /// Opaque endpoint handle (dense index into the endpoint table).
 using EndpointId = std::uint32_t;
@@ -49,9 +60,10 @@ struct EndpointStats {
   std::uint64_t bytes_received = 0;
 };
 
-/// Deterministic network-fault model.  Faults are drawn from a dedicated
-/// seeded RNG stream in send order, so a fixed (plan, workload) pair
-/// yields the same losses and jitters on every run.
+/// Deterministic network-fault model.  Each message's faults are drawn
+/// from a stateless hash of (seed, sender, sender send ordinal), so a
+/// fixed (plan, workload) pair yields the same losses and jitters on every
+/// run — at any shard count.
 struct FaultPlan {
   /// Probability that any one message is silently lost in transit.
   double drop_prob = 0.0;
@@ -93,6 +105,16 @@ class Network {
   /// `plan` (optional) injects deterministic faults on top of it.
   Network(Engine& engine, double latency_seconds, FaultPlan plan = {});
 
+  /// Routes cross-shard deliveries through `router` (whose lookahead must
+  /// not exceed this network's latency).  Without a router every delivery
+  /// is scheduled directly on the sending context's engine.
+  void attach_router(ShardedEngine* router);
+
+  /// Shard assigned to endpoints registered from now on.
+  void set_registration_shard(std::size_t shard) {
+    registration_shard_ = shard;
+  }
+
   /// Registers an endpoint; `address`/`port` mirror the identity tuple the
   /// paper's documents carry.  The handler runs when a message arrives.
   EndpointId register_endpoint(std::string address, int port, Handler handler);
@@ -112,10 +134,12 @@ class Network {
   [[nodiscard]] double latency() const { return latency_; }
   [[nodiscard]] std::size_t endpoint_count() const { return endpoints_.size(); }
   [[nodiscard]] const EndpointStats& stats(EndpointId id) const;
-  [[nodiscard]] std::uint64_t total_messages() const { return total_messages_; }
-  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::size_t endpoint_shard(EndpointId id) const;
+  /// Network-wide totals, summed over the per-endpoint accounting.
+  [[nodiscard]] std::uint64_t total_messages() const;
+  [[nodiscard]] std::uint64_t total_bytes() const;
   [[nodiscard]] const FaultPlan& fault_plan() const { return plan_; }
-  [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
+  [[nodiscard]] FaultStats fault_stats() const;
 
   /// Identity lookup for serialising Fig. 5 / Fig. 6 documents.
   [[nodiscard]] const std::string& address(EndpointId id) const;
@@ -127,22 +151,24 @@ class Network {
     int port;
     Handler handler;
     EndpointStats stats;
+    // Random/partition drops are charged to the sender, endpoint-down
+    // drops to the recipient, so each counter has exactly one writing
+    // shard.
+    FaultStats faults;
+    std::size_t shard = 0;
     bool up = true;
   };
 
-  /// True if a partition window currently separates the two endpoints.
-  [[nodiscard]] bool partitioned(EndpointId from, EndpointId to) const;
+  /// True if a partition window at time `now` separates the two endpoints.
+  [[nodiscard]] bool partitioned(EndpointId from, EndpointId to,
+                                 SimTime now) const;
 
   Engine& engine_;
+  ShardedEngine* router_ = nullptr;
+  std::size_t registration_shard_ = 0;
   double latency_;
   FaultPlan plan_;
-  /// Engaged only while the plan is active, so the perfect-delivery path
-  /// never draws (and a plan-less network never pays for the state).
-  std::optional<Rng> fault_rng_;
   std::vector<Endpoint> endpoints_;
-  std::uint64_t total_messages_ = 0;
-  std::uint64_t total_bytes_ = 0;
-  FaultStats fault_stats_;
 };
 
 }  // namespace gridlb::sim

@@ -1,0 +1,249 @@
+#include "sim/sharded_engine.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+
+namespace gridlb::sim {
+
+bool SpinBarrier::arrive_and_wait() {
+  if (killed_.load(std::memory_order_acquire)) return false;
+  const std::uint64_t phase = phase_.load(std::memory_order_relaxed);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    // Everyone else is parked in the wait loop below (none touch
+    // `arrived_` again until the phase advances), so the reset cannot race
+    // with next-phase arrivals.
+    arrived_.store(0, std::memory_order_relaxed);
+    phase_.fetch_add(1, std::memory_order_release);
+    return !killed_.load(std::memory_order_acquire);
+  }
+  int spins = 0;
+  while (phase_.load(std::memory_order_acquire) == phase) {
+    if (killed_.load(std::memory_order_acquire)) return false;
+    if (++spins > 1024) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  return !killed_.load(std::memory_order_acquire);
+}
+
+void SpinBarrier::kill() {
+  killed_.store(true, std::memory_order_release);
+  // Bump the phase so current waiters re-check the kill switch promptly.
+  phase_.fetch_add(1, std::memory_order_release);
+}
+
+ShardedEngine::ShardedEngine(std::size_t shards, SimTime lookahead)
+    : lookahead_(lookahead) {
+  GRIDLB_REQUIRE(shards >= 1, "shard count must be at least 1");
+  if (shards == 1) {
+    // Single shard: the plain sequence-ordered engine, byte-identical to a
+    // pre-sharding run.
+    engines_.push_back(std::make_unique<Engine>());
+  } else {
+    GRIDLB_REQUIRE(lookahead > 0.0,
+                   "a sharded simulation needs a positive lookahead");
+    for (std::size_t s = 0; s < shards; ++s) {
+      engines_.push_back(std::make_unique<Engine>(&shared_, s));
+      engines_.back()->set_milestone_lead(lookahead);
+    }
+  }
+  outbox_.resize(engines_.size());
+}
+
+void ShardedEngine::post(std::size_t dest, SimTime delay, EventFn fn) {
+  GRIDLB_REQUIRE(dest < engines_.size(), "post to unknown shard");
+  GRIDLB_REQUIRE(delay >= 0.0, "delay must be non-negative");
+  Engine* const src = Engine::current();
+  if (src == nullptr) {
+    // Scenario setup, before the run: schedule directly (genesis lineage).
+    engines_[dest]->schedule_in(delay, std::move(fn));
+    return;
+  }
+  if (!sharded() || dest == src->shard_index()) {
+    src->schedule_in(delay, std::move(fn));
+    return;
+  }
+  GRIDLB_REQUIRE(delay >= lookahead_,
+                 "cross-shard post inside the lookahead window");
+  outbox_[src->shard_index()].push_back(
+      Posted{dest, src->now() + delay, src->make_child_ref(), std::move(fn)});
+}
+
+std::uint64_t ShardedEngine::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& engine : engines_) total += engine->events_processed();
+  return total;
+}
+
+std::uint64_t ShardedEngine::events_swept() const {
+  std::uint64_t total = 0;
+  for (const auto& engine : engines_) total += engine->events_swept();
+  return total;
+}
+
+SimTime ShardedEngine::max_now() const {
+  SimTime latest = 0.0;
+  for (const auto& engine : engines_) latest = std::max(latest, engine->now());
+  return latest;
+}
+
+void ShardedEngine::drive(const DriveGoal& goal, SimTime horizon) {
+  GRIDLB_REQUIRE(goal.done != nullptr && goal.remaining != nullptr,
+                 "drive goal must be fully specified");
+  if (!sharded()) {
+    // The classic driver loop, kept textually in step with
+    // run_experiment's historical behaviour.
+    Engine& engine = *engines_[0];
+    while (!goal.done()) {
+      GRIDLB_REQUIRE(engine.step(), "event queue drained with tasks missing");
+      GRIDLB_REQUIRE(engine.now() <= horizon,
+                     "experiment exceeded the horizon limit");
+    }
+    return;
+  }
+  horizon_ = horizon;
+  next_times_.assign(engines_.size(), kTimeInfinity);
+  decision_ = Decision{};
+  SpinBarrier barrier(static_cast<int>(engines_.size()));
+  barrier_ = &barrier;
+  ThreadPool pool(static_cast<int>(engines_.size()));
+  // One dispatch for the whole run: slot s drives shard s, synchronizing
+  // with spin barriers between windows.  parallel_for rethrows the first
+  // shard exception after every shard has unwound (the barrier kill below
+  // guarantees they all do).
+  pool.parallel_for(static_cast<int>(engines_.size()),
+                    [&](int begin, int /*end*/, int /*slot*/) {
+                      worker(static_cast<std::size_t>(begin), goal);
+                    });
+  barrier_ = nullptr;
+}
+
+void ShardedEngine::worker(std::size_t s, const DriveGoal& goal) {
+  try {
+    Engine& engine = *engines_[s];
+    for (;;) {
+      next_times_[s] = engine.next_event_time();
+      if (!barrier_->arrive_and_wait()) return;  // A: next-times published
+      if (s == 0) decide(goal);
+      if (!barrier_->arrive_and_wait()) return;  // B: decision published
+      const Decision decision = decision_;
+      if (decision.kind == DecisionKind::kFinished) return;
+      if (decision.kind == DecisionKind::kParallel) {
+        engine.run_window(decision.bound);
+      } else if (s == 0) {
+        run_serial(goal);
+      }
+      if (!barrier_->arrive_and_wait()) return;  // C: window quiesced
+      if (s == 0 && decision.kind == DecisionKind::kParallel) seal_window();
+      if (!barrier_->arrive_and_wait()) return;  // D: ranks + mail sealed
+    }
+  } catch (...) {
+    // Release every other shard (they observe the kill and unwind
+    // normally) and let parallel_for surface this exception.
+    barrier_->kill();
+    throw;
+  }
+}
+
+void ShardedEngine::decide(const DriveGoal& goal) {
+  if (goal.done()) {
+    decision_ = Decision{DecisionKind::kFinished, 0.0};
+    return;
+  }
+  SimTime t_min = kTimeInfinity;
+  for (const SimTime t : next_times_) t_min = std::min(t_min, t);
+  GRIDLB_REQUIRE(t_min < kTimeInfinity, "event queue drained with tasks missing");
+  GRIDLB_REQUIRE(t_min <= horizon_, "experiment exceeded the horizon limit");
+  const SimTime bound = t_min + lookahead_;
+  const std::uint64_t remaining = goal.remaining();
+  std::uint64_t due = 0;
+  for (const auto& engine : engines_) {
+    due += engine->count_milestones_below(bound, remaining - due);
+    if (due >= remaining) break;
+  }
+  // If every still-needed completion could fire inside this window, run it
+  // serially so the simulation stops at exactly the same event as a
+  // single-queue run would.
+  decision_ = Decision{remaining > 0 && due >= remaining
+                           ? DecisionKind::kSerial
+                           : DecisionKind::kParallel,
+                       bound};
+}
+
+void ShardedEngine::run_serial(const DriveGoal& goal) {
+  for (auto& engine : engines_) engine->set_serial_finalize(true);
+  while (!goal.done()) {
+    std::size_t best = engines_.size();
+    Engine::PeekKey best_key{};
+    for (std::size_t s = 0; s < engines_.size(); ++s) {
+      const auto key = engines_[s]->peek_key();
+      if (key.has_value() && (best == engines_.size() || *key < best_key)) {
+        best = s;
+        best_key = *key;
+      }
+    }
+    GRIDLB_REQUIRE(best != engines_.size(),
+                   "event queue drained with tasks missing");
+    GRIDLB_REQUIRE(best_key.at <= horizon_,
+                   "experiment exceeded the horizon limit");
+    engines_[best]->step();
+    drain_outboxes();
+  }
+  for (auto& engine : engines_) engine->set_serial_finalize(false);
+}
+
+void ShardedEngine::seal_window() {
+  // K-way merge of the shards' window execution logs in lineage-key order,
+  // assigning global ranks.  By the time a record reaches the head of its
+  // shard's log its parent is always finalized: same-shard parents appear
+  // earlier in the log, cross-shard parents executed in an earlier
+  // (already-sealed) window.
+  std::vector<std::size_t> pos(engines_.size(), 0);
+  std::vector<std::vector<ExecRecordPtr>*> logs(engines_.size());
+  for (std::size_t s = 0; s < engines_.size(); ++s) {
+    logs[s] = &engines_[s]->window_records();
+  }
+  const auto precedes = [](const ExecRecord& a, const ExecRecord& b) {
+    GRIDLB_ASSERT(a.parent != nullptr && a.parent->finalized);
+    GRIDLB_ASSERT(b.parent != nullptr && b.parent->finalized);
+    if (a.at != b.at) return a.at < b.at;
+    if (a.parent->rank != b.parent->rank) {
+      return a.parent->rank < b.parent->rank;
+    }
+    return a.idx < b.idx;
+  };
+  for (;;) {
+    std::size_t best = engines_.size();
+    for (std::size_t s = 0; s < engines_.size(); ++s) {
+      if (pos[s] >= logs[s]->size()) continue;
+      if (best == engines_.size() ||
+          precedes(*(*logs[s])[pos[s]], *(*logs[best])[pos[best]])) {
+        best = s;
+      }
+    }
+    if (best == engines_.size()) break;
+    ExecRecord& record = *(*logs[best])[pos[best]++];
+    record.rank = shared_.next_gidx++;
+    record.finalized = true;
+    record.parent.reset();  // genealogy chains stay bounded
+  }
+  for (auto* log : logs) log->clear();
+  drain_outboxes();
+}
+
+void ShardedEngine::drain_outboxes() {
+  for (auto& box : outbox_) {
+    for (auto& posted : box) {
+      engines_[posted.dest]->inject(posted.at, posted.ref,
+                                    std::move(posted.fn));
+    }
+    box.clear();
+  }
+}
+
+}  // namespace gridlb::sim

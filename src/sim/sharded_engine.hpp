@@ -1,0 +1,129 @@
+// Conservative-lookahead shard coordinator for the discrete-event engine.
+//
+// Partitions one simulation across N sim::Engine shards (one event queue
+// per shard, agents pinned to shards at scenario-build time) and drives
+// them with the PR-1 thread pool.  Synchronization is classic conservative
+// lookahead: the network's delivery latency L bounds how soon anything an
+// event does can affect another shard, so all events in the global window
+// [t_min, t_min + L) are mutually independent across shards and can run in
+// parallel.  Cross-shard sends are buffered in per-shard outboxes during a
+// window and injected into their destination queues at the barrier — never
+// earlier than their safe time (>= window bound).
+//
+// Determinism contract (see DESIGN.md §13): a sharded run produces the
+// bit-for-bit identical ExperimentResult for any shard count.  Two
+// mechanisms carry this:
+//   1. Lineage ordering (engine.hpp): equal-time ties are broken by the
+//      partition-independent key (at, parent's global execution rank,
+//      child index), which provably equals the single-queue scheduling-
+//      order tie-break.  Ranks are assigned by a k-way merge over the
+//      shards' window execution logs when each window is sealed.
+//   2. Exact stop: when the pending milestones (task completions) due
+//      inside the next window could finish the run, the coordinator
+//      switches to a serial globally-merged stepping mode so the run halts
+//      at exactly the same event as a single-queue run — preserving
+//      finished_at, sim_events and every other counter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/engine.hpp"
+
+namespace gridlb::sim {
+
+/// Stop predicate for drive(): `done` flips when the run is complete and
+/// `remaining` reports how many milestone executions are still needed (used
+/// for the exact-stop decision).  Both are only called from the
+/// coordinator slot between barriers, never concurrently.
+struct DriveGoal {
+  std::function<bool()> done;
+  std::function<std::uint64_t()> remaining;
+};
+
+/// A sense-reversing spin barrier with an abort switch: kill() releases
+/// every current and future waiter with a `false` return so a throwing
+/// shard cannot deadlock the others.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties) {}
+
+  /// Returns false if the barrier was killed.
+  bool arrive_and_wait();
+  void kill();
+
+ private:
+  const int parties_;
+  std::atomic<int> arrived_{0};
+  std::atomic<std::uint64_t> phase_{0};
+  std::atomic<bool> killed_{false};
+};
+
+class ShardedEngine {
+ public:
+  /// `shards` == 1 builds a single plain sequence-ordered engine (the
+  /// bit-for-bit reference path); > 1 builds lineage-ordered shards that
+  /// require a positive `lookahead` (the network latency).
+  ShardedEngine(std::size_t shards, SimTime lookahead);
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return engines_.size(); }
+  [[nodiscard]] bool sharded() const { return engines_.size() > 1; }
+  [[nodiscard]] SimTime lookahead() const { return lookahead_; }
+  [[nodiscard]] Engine& shard(std::size_t s) { return *engines_[s]; }
+
+  /// Schedules `fn` on shard `dest` at the calling context's now + delay.
+  /// From inside an event this routes same-shard schedules directly and
+  /// buffers cross-shard ones (which must respect the lookahead:
+  /// delay >= lookahead()).  Outside any event (scenario setup) it
+  /// schedules directly with genesis lineage.
+  void post(std::size_t dest, SimTime delay, EventFn fn);
+
+  /// Runs the simulation until `goal.done()`, raising the same assertion
+  /// errors as the classic serial driver loop when the queues drain early
+  /// or `horizon` is exceeded.
+  void drive(const DriveGoal& goal, SimTime horizon);
+
+  /// Sums over shards.
+  [[nodiscard]] std::uint64_t events_processed() const;
+  [[nodiscard]] std::uint64_t events_swept() const;
+  /// Max over shards == the timestamp of the last executed event.
+  [[nodiscard]] SimTime max_now() const;
+
+ private:
+  enum class DecisionKind { kParallel, kSerial, kFinished };
+  struct Decision {
+    DecisionKind kind = DecisionKind::kFinished;
+    SimTime bound = 0.0;
+  };
+  struct Posted {
+    std::size_t dest;
+    SimTime at;
+    Engine::ChildRef ref;
+    EventFn fn;
+  };
+
+  void worker(std::size_t s, const DriveGoal& goal);
+  void decide(const DriveGoal& goal);
+  void run_serial(const DriveGoal& goal);
+  void seal_window();
+  void drain_outboxes();
+
+  SimTime lookahead_ = 0.0;
+  LineageShared shared_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::vector<std::vector<Posted>> outbox_;  // one per source shard
+
+  // drive() state; written/read only in barrier-separated phases.
+  SimTime horizon_ = 0.0;
+  std::vector<SimTime> next_times_;
+  Decision decision_;
+  SpinBarrier* barrier_ = nullptr;
+};
+
+}  // namespace gridlb::sim

@@ -217,8 +217,18 @@ TEST(ScenarioSpec, ValidatesItsFields) {
   reject([](ScenarioSpec& spec) { spec.nodes_per_resource = 0; });
   reject([](ScenarioSpec& spec) { spec.nodes_per_resource = 33; });
   reject([](ScenarioSpec& spec) { spec.requests_per_agent = -1; });
-  reject([](ScenarioSpec& spec) { spec.arrival_interval = 0.0; });
+  reject([](ScenarioSpec& spec) { spec.arrival_interval = -1.0; });
   reject([](ScenarioSpec& spec) { spec.deadline_scale = 0.0; });
+}
+
+TEST(ScenarioSpec, ZeroArrivalIntervalMeansAutoPerAgentRate) {
+  ScenarioSpec spec;
+  spec.agent_count = 48;
+  spec.arrival_interval = 0.0;
+  // Auto holds the Fig. 7 per-agent rate: 12 s spacing at 12 agents.
+  EXPECT_EQ(scenario_workload(spec).interval, 0.25);
+  spec.arrival_interval = 2.0;  // explicit spacing passes through
+  EXPECT_EQ(scenario_workload(spec).interval, 2.0);
 }
 
 }  // namespace

@@ -211,6 +211,40 @@ TEST(Engine, AllCancelledReadsAsIdle) {
   EXPECT_EQ(count, 1);
 }
 
+TEST(Engine, EventsSweptCountsLazyDiscards) {
+  Engine engine;
+  EXPECT_EQ(engine.events_swept(), 0u);
+  const EventId a = engine.schedule_at(1.0, []() {});
+  const EventId b = engine.schedule_at(2.0, []() {});
+  engine.schedule_at(3.0, []() {});
+  EXPECT_TRUE(engine.cancel(a));
+  EXPECT_TRUE(engine.cancel(b));
+  engine.run();
+  EXPECT_EQ(engine.events_swept(), 2u);
+  EXPECT_EQ(engine.events_processed(), 1u);
+}
+
+TEST(Engine, ChainCancelKeepsSweepFastPath) {
+  // Cancelling a periodic chain must not leave a stale id poisoning the
+  // lazy sweep: chain ids live in their own id space and are never
+  // enqueued, so after the chain stops no entry is ever swept for it.
+  Engine engine;
+  int count = 0;
+  const EventId chain =
+      engine.schedule_periodic(0.0, 1.0, [&count]() { ++count; });
+  engine.schedule_at(2.5, [&engine, chain]() { engine.cancel(chain); });
+  engine.run_until(50.0);
+  EXPECT_EQ(count, 3);  // t = 0, 1, 2
+  const std::uint64_t swept = engine.events_swept();
+  for (int i = 0; i < 100; ++i) {
+    engine.schedule_at(60.0 + i, []() {});
+  }
+  engine.run();
+  // No plain-event cancellations are outstanding, so the O(1) fast path
+  // never sweeps anything for the dead chain.
+  EXPECT_EQ(engine.events_swept(), swept);
+}
+
 TEST(Engine, ManyEventsStressOrder) {
   Engine engine;
   std::vector<double> fired;

@@ -10,7 +10,7 @@
 //   gridlb campaign [--requests N] [--policy ga|fifo] [--agents on|off]
 //                   [--seed S] [--pull-period P] [--prediction-error E]
 //                   [--eval-threads N] [--churn-mtbf M --churn-mttr R]
-//                   [--csv] [--trace S1]
+//                   [--sim-shards N] [--csv] [--trace S1]
 //       Run a custom campaign on the Fig. 7 grid; --trace renders one
 //       resource's executed Gantt chart.  A leading `--` flag with no
 //       command runs a campaign, so `gridlb --grid-agents 192 …` works.
@@ -18,8 +18,11 @@
 // Scenario grids (campaign command, DESIGN.md §12): --grid-agents
 // replaces the Fig. 7 grid with a generated one — --grid-shape
 // fanout|random, --grid-fanout, --grid-depth, --grid-seed, --grid-nodes
-// describe the hierarchy; --requests-per-agent, --arrival-interval and
-// --deadline-scale scale the workload with it.  --timeline-out writes the
+// describe the hierarchy; --requests-per-agent, --arrival-interval
+// (0 = auto: hold the per-agent rate constant) and --deadline-scale scale
+// the workload with it.  --sim-shards N partitions the event queue across
+// N threads (0 = hardware concurrency; results are identical for any
+// shard count, see DESIGN.md §13).  --timeline-out writes the
 // per-resource utilisation timeline as CSV (--timeline-window buckets),
 // and --require-complete exits non-zero unless every task completed.
 //
@@ -162,8 +165,9 @@ core::ScenarioSpec scenario_spec_from_flags(const Flags& flags) {
       flags.get_int("grid-nodes", spec.nodes_per_resource);
   spec.requests_per_agent =
       flags.get_int("requests-per-agent", spec.requests_per_agent);
-  spec.arrival_interval =
-      flags.get_double("arrival-interval", spec.arrival_interval);
+  // Default 0 = auto: the CLI holds the per-agent arrival rate constant as
+  // --grid-agents grows, so big campaigns fit the same horizon.
+  spec.arrival_interval = flags.get_double("arrival-interval", 0.0);
   spec.deadline_scale =
       flags.get_double("deadline-scale", spec.deadline_scale);
   return spec;
@@ -192,6 +196,9 @@ core::ExperimentConfig campaign_config(const Flags& flags) {
   config.system.ga.eval_threads = flags.get_int("eval-threads", 0);
   GRIDLB_REQUIRE(config.system.ga.eval_threads >= 0,
                  "--eval-threads must be >= 0 (0 = hardware concurrency)");
+  config.system.sim_shards = flags.get_int("sim-shards", 1);
+  GRIDLB_REQUIRE(config.system.sim_shards >= 0,
+                 "--sim-shards must be >= 0 (0 = hardware concurrency)");
   config.system.pull_period = flags.get_double("pull-period", 10.0);
   config.system.prediction_error = flags.get_double("prediction-error", 0.0);
   const double mtbf = flags.get_double("churn-mtbf", 0.0);
@@ -230,6 +237,7 @@ int cmd_experiment(const Flags& flags) {
     config.workload.seed =
         static_cast<std::uint64_t>(flags.get_int("seed", 2003));
     config.system.ga.eval_threads = flags.get_int("eval-threads", 0);
+    config.system.sim_shards = flags.get_int("sim-shards", 1);
     apply_fault_flags(flags, config);
     apply_obs_flags(flags, config);
     log::info("running ", config.name, "…");
@@ -327,6 +335,8 @@ Flags make_flags() {
   flags.declare("policy", "ga|fifo", "local scheduling policy");
   flags.declare("eval-threads", "N",
                 "GA evaluate-phase threads (0 = hardware concurrency)");
+  flags.declare("sim-shards", "N",
+                "engine shards (1 = classic, 0 = hardware concurrency)");
   flags.declare("agents", "on|off", "agent-based discovery");
   flags.declare("pull-period", "sec", "advertisement pull period");
   flags.declare("prediction-error", "e", "actual = predicted × U[1−e,1+e]");
@@ -346,7 +356,8 @@ Flags make_flags() {
   flags.declare("grid-nodes", "N", "processing nodes per resource");
   flags.declare("requests-per-agent", "N",
                 "scenario workload: requests per resource");
-  flags.declare("arrival-interval", "sec", "seconds between submissions");
+  flags.declare("arrival-interval", "sec",
+                "seconds between submissions (0 = auto per-agent rate)");
   flags.declare("deadline-scale", "x",
                 "deadline tightness (<1 squeezes Table 1 domains)");
   flags.declare("timeline-out", "file",
