@@ -184,6 +184,7 @@ void Agent::receive_request(Request request, bool final_dispatch) {
     // gone degenerate): execute here rather than bounce forever.
     if (config_.strict_failure) {
       ++stats_.dropped;
+      if (auto* reg = obs::registry()) reg->counter("flow.dropped").add(1);
       obs::emit({.at = engine_.now(),
                  .kind = obs::EventKind::kRequestRejected,
                  .extra = static_cast<std::uint32_t>(hops),
@@ -292,6 +293,7 @@ void Agent::receive_request(Request request, bool final_dispatch) {
   // unsuccessfully in the paper's sense.
   if (config_.strict_failure) {
     ++stats_.dropped;
+    if (auto* reg = obs::registry()) reg->counter("flow.dropped").add(1);
     obs::emit({.at = engine_.now(),
                .kind = obs::EventKind::kRequestRejected,
                .extra = static_cast<std::uint32_t>(hops),

@@ -3,6 +3,7 @@
 #include "agents/request.hpp"
 #include "common/assert.hpp"
 #include "common/log.hpp"
+#include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "xml/xml.hpp"
 
@@ -48,6 +49,9 @@ TaskId Portal::submit(Agent& entry, const std::string& app_name,
       Submission{app_name, deadline, environment, email};
 
   if (collector_ != nullptr) collector_->on_submission(engine_.now());
+  // Live arrival counter for the continuous sampler; the end-of-run
+  // `portal.requests_submitted` total stays authoritative.
+  if (auto* reg = obs::registry()) reg->counter("flow.submitted").add(1);
   obs::emit({.at = engine_.now(),
              .kind = obs::EventKind::kRequestSubmitted,
              .task = request.task.value(),

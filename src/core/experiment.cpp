@@ -1,8 +1,11 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <cinttypes>
+#include <cstdio>
 #include <iomanip>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -118,6 +121,19 @@ void populate_registry(obs::MetricsRegistry& registry,
   registry.counter("agents.crashes").add(result.agent_crashes);
   registry.counter("agents.restarts").add(result.agent_restarts);
   registry.counter("portal.tasks_resubmitted").add(result.tasks_resubmitted);
+
+  // Trace-ring drop accounting: always present, so a reader scanning the
+  // metrics JSON can tell "nothing dropped" from "tracing was off".
+  registry.counter("obs.trace_events").add(result.trace_events);
+  registry.counter("obs.dropped_events").add(result.trace_dropped);
+}
+
+/// Sum of processing nodes across the grid, for the utilisation plot's
+/// denominator (`flow.busy_us / (dt * grid.total_nodes)`).
+int total_grid_nodes(const agents::SystemConfig& system) {
+  int nodes = 0;
+  for (const auto& spec : system.resources) nodes += spec.node_count;
+  return nodes;
 }
 
 /// Scoped observability for one experiment run: installs the instruments
@@ -133,12 +149,22 @@ class ObsScope {
     }
   }
 
+  [[nodiscard]] obs::Sampler* sampler() {
+    return session_ ? session_->sampler() : nullptr;
+  }
+
   void finish(ExperimentResult& result, agents::AgentSystem& system) {
     if (!session_) return;
     if (obs::TraceRecorder* recorder = session_->recorder()) {
       const obs::TraceSnapshot snapshot = recorder->snapshot();
       result.trace_events = snapshot.recorded;
       result.trace_dropped = snapshot.dropped;
+    }
+    // Close the time series at the finish time, before the end-of-run
+    // tallies below land in the registry — the final row must describe
+    // the run's tail, not the bulk-populated totals.
+    if (obs::Sampler* sampler = session_->sampler()) {
+      sampler->sample(result.finished_at);
     }
     if (obs::MetricsRegistry* registry = session_->registry()) {
       populate_registry(*registry, result, system);
@@ -150,6 +176,42 @@ class ObsScope {
   const ExperimentConfig* config_;
   std::optional<obs::Session> session_;
 };
+
+/// Schedules the self-rescheduling sampler tick on `engine` at
+/// `interval, 2*interval, ...` and returns the count of executed ticks.
+/// Each tick is one extra engine event, so the caller subtracts the
+/// returned count from `sim_events` to keep the published result
+/// bit-for-bit identical to an unsampled run (DESIGN.md §14).  Ticks ride
+/// the milestone machinery: on the sharded driver this keeps the cadence
+/// (and the exact-stop decision) partition-independent, and on a plain
+/// engine it degrades to schedule_at.  `interval` must be >= the engine's
+/// milestone lead (the lookahead) in lineage mode.
+std::shared_ptr<std::uint64_t> schedule_sampler_ticks(
+    sim::Engine& engine, obs::Sampler& sampler, double interval,
+    bool progress, std::uint64_t expected,
+    std::function<std::uint64_t()> completed) {
+  auto executed = std::make_shared<std::uint64_t>(0);
+  // Self-rescheduling via an owning shared_ptr, the schedule_periodic
+  // idiom (periodic chains themselves are not used: their queue entries
+  // would not be milestones).
+  auto tick = std::make_shared<sim::EventFn>();
+  *tick = [&engine, &sampler, executed, interval, progress, expected,
+           completed = std::move(completed), tick]() {
+    ++*executed;
+    const SimTime now = engine.now();
+    sampler.sample(now);
+    if (progress) {
+      // Straight to stderr: the default log level hides log::info, and a
+      // heartbeat the user asked for must not be silenced.
+      std::fprintf(stderr,
+                   "[gridlb] t=%.1fs  completed %" PRIu64 "/%" PRIu64 "\n",
+                   now, completed(), expected);
+    }
+    engine.schedule_milestone_at(now + interval, *tick);
+  };
+  engine.schedule_milestone_at(interval, *tick);
+  return executed;
+}
 
 }  // namespace
 
@@ -217,10 +279,29 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     });
   }
 
+  const auto expected = static_cast<std::uint64_t>(workload.size());
+
+  // Continuous profiling: sampler ticks live on the portal's shard so the
+  // series is written by exactly one event context at every shard count.
+  // The interval is clamped to the lookahead so each reschedule clears
+  // the milestone-lead requirement.
+  std::shared_ptr<std::uint64_t> sampler_ticks;
+  if (obs::Sampler* sampler = obs_scope.sampler()) {
+    if (auto* reg = obs::registry()) {
+      reg->gauge("grid.agents").set(static_cast<double>(system.size()));
+      reg->gauge("grid.total_nodes")
+          .set(static_cast<double>(total_grid_nodes(config.system)));
+    }
+    const double interval = std::max(config.obs.effective_interval(),
+                                     config.system.network_latency);
+    sampler_ticks = schedule_sampler_ticks(
+        portal_engine, *sampler, interval, config.obs.progress, expected,
+        [&system]() { return system.completed_count(); });
+  }
+
   // Drain: run until every submitted task completed or was dropped.  The
   // periodic advertisement pulls keep the event queue non-empty forever,
   // so completion — not queue exhaustion — is the stop condition.
-  const auto expected = static_cast<std::uint64_t>(workload.size());
   if (!sharded.sharded()) {
     sim::Engine& engine = sharded.shard(0);
     const auto dropped_so_far = [&system]() {
@@ -257,7 +338,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   result.requests_submitted = expected;
   result.tasks_completed = collector.completed_tasks();
   result.finished_at = sharded.max_now();
-  result.sim_events = sharded.events_processed();
+  // Observation neutrality: sampler ticks are engine events, so their
+  // executions are subtracted back out — the published count must be
+  // bit-for-bit what an unsampled run reports.
+  result.sim_events = sharded.events_processed() -
+                      (sampler_ticks != nullptr ? *sampler_ticks : 0);
   result.sim_shards = shards;
   result.events_swept = sharded.events_swept();
   result.network_messages = system.network().total_messages();
@@ -369,6 +454,21 @@ ExperimentResult run_central_experiment(const ExperimentConfig& config) {
   }
 
   const auto expected = static_cast<std::uint64_t>(workload.size());
+
+  std::shared_ptr<std::uint64_t> sampler_ticks;
+  if (obs::Sampler* sampler = obs_scope.sampler()) {
+    if (auto* reg = obs::registry()) {
+      reg->gauge("grid.agents").set(static_cast<double>(system.size()));
+      reg->gauge("grid.total_nodes")
+          .set(static_cast<double>(total_grid_nodes(config.system)));
+    }
+    const double interval = std::max(config.obs.effective_interval(),
+                                     config.system.network_latency);
+    sampler_ticks = schedule_sampler_ticks(
+        engine, *sampler, interval, config.obs.progress, expected,
+        [&collector]() { return collector.completed_tasks(); });
+  }
+
   while (collector.completed_tasks() < expected) {
     GRIDLB_REQUIRE(engine.step(), "event queue drained with tasks missing");
     GRIDLB_REQUIRE(engine.now() <= config.horizon_limit,
@@ -382,7 +482,8 @@ ExperimentResult run_central_experiment(const ExperimentConfig& config) {
   result.requests_submitted = expected;
   result.tasks_completed = collector.completed_tasks();
   result.finished_at = engine.now();
-  result.sim_events = engine.events_processed();
+  result.sim_events = engine.events_processed() -
+                      (sampler_ticks != nullptr ? *sampler_ticks : 0);
   result.events_swept = engine.events_swept();
   result.network_messages = system.network().total_messages();
   result.network_bytes = system.network().total_bytes();

@@ -173,4 +173,15 @@ std::string format_report(const Report& report) {
   return os.str();
 }
 
+std::string format_report(const Report& report,
+                          const std::vector<std::string>& notes) {
+  std::string out = format_report(report);
+  for (const std::string& note : notes) {
+    out += '(';
+    out += note;
+    out += ")\n";
+  }
+  return out;
+}
+
 }  // namespace gridlb::metrics

@@ -93,4 +93,10 @@ class MetricsCollector {
 /// Renders a report as an aligned text table (used by benches/examples).
 [[nodiscard]] std::string format_report(const Report& report);
 
+/// Same table with caveat lines appended — one per note, `(note)` style.
+/// Callers use this to surface measurement caveats (e.g. trace-ring
+/// drops) next to the numbers they qualify instead of in a log stream.
+[[nodiscard]] std::string format_report(const Report& report,
+                                        const std::vector<std::string>& notes);
+
 }  // namespace gridlb::metrics

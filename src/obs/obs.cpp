@@ -20,6 +20,9 @@ Session::Session(ObsConfig config) : config_(std::move(config)) {
                    "another observability session already has a registry");
     registry_ = std::make_unique<MetricsRegistry>();
     detail::install_registry(registry_.get());
+    if (config_.sampler_enabled()) {
+      sampler_ = std::make_unique<Sampler>(*registry_);
+    }
   }
 }
 
@@ -43,6 +46,14 @@ bool Session::export_outputs(const std::vector<std::string>& resource_names) {
   }
   if (registry_ != nullptr && !config_.metrics_json_out.empty()) {
     ok &= write_file(config_.metrics_json_out, registry_->json_snapshot());
+  }
+  if (sampler_ != nullptr) {
+    if (!config_.series_jsonl_out.empty()) {
+      ok &= write_file(config_.series_jsonl_out, sampler_->series().jsonl());
+    }
+    if (!config_.series_csv_out.empty()) {
+      ok &= write_file(config_.series_csv_out, sampler_->series().csv());
+    }
   }
   return ok;
 }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace gridlb::obs {
@@ -37,11 +38,28 @@ struct ObsConfig {
   std::string events_out;       ///< flat JSONL event dump path
   std::string metrics_json_out; ///< registry JSON snapshot path
 
+  /// Continuous profiling: snapshot the registry every `metrics_interval`
+  /// sim-seconds (0 = use the 60 s default when a series output or
+  /// --progress turns the sampler on).  Sampling rides the engine's
+  /// milestone machinery, so the cadence is identical at any shard count.
+  double metrics_interval = 0.0;
+  std::string series_jsonl_out;  ///< time-series JSONL path ("" = off)
+  std::string series_csv_out;    ///< time-series CSV path ("" = off)
+  bool progress = false;         ///< stderr heartbeat line per sample
+
   [[nodiscard]] bool trace_enabled() const {
     return trace || !trace_out.empty() || !events_out.empty();
   }
+  [[nodiscard]] bool sampler_enabled() const {
+    return metrics_interval > 0.0 || !series_jsonl_out.empty() ||
+           !series_csv_out.empty() || progress;
+  }
+  /// Sampling cadence in sim-seconds when the sampler is on.
+  [[nodiscard]] double effective_interval() const {
+    return metrics_interval > 0.0 ? metrics_interval : 60.0;
+  }
   [[nodiscard]] bool metrics_enabled() const {
-    return metrics || !metrics_json_out.empty();
+    return metrics || !metrics_json_out.empty() || sampler_enabled();
   }
   [[nodiscard]] bool enabled() const {
     return trace_enabled() || metrics_enabled();
@@ -62,6 +80,7 @@ class Session {
   /// Null when the corresponding piece is disabled.
   [[nodiscard]] TraceRecorder* recorder() { return recorder_.get(); }
   [[nodiscard]] MetricsRegistry* registry() { return registry_.get(); }
+  [[nodiscard]] Sampler* sampler() { return sampler_.get(); }
 
   /// Writes every configured output file (Chrome trace, JSONL dump,
   /// metrics JSON).  `resource_names[i]` labels AgentId i+1.  Returns
@@ -72,6 +91,7 @@ class Session {
   ObsConfig config_;
   std::unique_ptr<TraceRecorder> recorder_;
   std::unique_ptr<MetricsRegistry> registry_;
+  std::unique_ptr<Sampler> sampler_;
 };
 
 }  // namespace gridlb::obs

@@ -170,6 +170,24 @@ std::string MetricsRegistry::json_snapshot() const {
   return os.str();
 }
 
+RegistrySample MetricsRegistry::sample() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySample out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace_back(name, counter->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace_back(name, gauge->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.histograms.emplace_back(name, histogram->snapshot());
+  }
+  return out;
+}
+
 namespace detail {
 
 void install_registry(MetricsRegistry* registry) {

@@ -78,6 +78,15 @@ class Histogram {
   Snapshot data_;
 };
 
+/// Structured point-in-time view of a whole registry, every instrument in
+/// name order.  This is what the continuous sampler (sampler.hpp) diffs
+/// between ticks to turn monotonic counters into per-interval deltas.
+struct RegistrySample {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -97,6 +106,8 @@ class MetricsRegistry {
   /// {"counters":{...},"gauges":{...},"histograms":{...}} — valid JSON
   /// (non-finite values are serialised as null).
   [[nodiscard]] std::string json_snapshot() const;
+  /// Structured snapshot in name order (see RegistrySample).
+  [[nodiscard]] RegistrySample sample() const;
 
  private:
   mutable std::mutex mutex_;

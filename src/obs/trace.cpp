@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/sim_clock.hpp"
 
 namespace gridlb::obs {
 
@@ -40,6 +41,7 @@ std::string_view kind_name(EventKind kind) {
     case EventKind::kAgentCrashed: return "agent_crashed";
     case EventKind::kAgentRestarted: return "agent_restarted";
     case EventKind::kTaskResubmitted: return "task_resubmitted";
+    case EventKind::kShardSample: return "shard_sample";
   }
   return "unknown";
 }
@@ -81,6 +83,14 @@ void TraceRecorder::record(const TraceEvent& event) {
   const bool highfreq = is_highfreq(event.kind);
   Ring*& ring = highfreq ? tls.highfreq : tls.control;
   if (ring == nullptr) ring = register_ring(highfreq);
+  if (event.shard == 0) {
+    // Stamp the executing engine shard (0 stays 0 on unsharded runs, so
+    // the exporter layout of a classic run is untouched).
+    TraceEvent stamped = event;
+    stamped.shard = simclock::current_shard();
+    ring->push(stamped);
+    return;
+  }
   ring->push(event);
 }
 

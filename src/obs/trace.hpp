@@ -66,6 +66,9 @@ enum class EventKind : std::uint8_t {
   kAgentCrashed,       ///< agent process failed (endpoint down)
   kAgentRestarted,     ///< agent process came back (fresh ACT)
   kTaskResubmitted,    ///< portal re-injected a task stranded on a crash
+  // Engine-shard telemetry (DESIGN.md §14).
+  kShardSample,        ///< sampler tick: extra=shard index (0-based),
+                       ///< a=events, b=barrier-wait ns this interval
 };
 
 /// Short stable identifier ("ga_generation", "cache_hit", …) used by the
@@ -81,9 +84,15 @@ enum class EventKind : std::uint8_t {
 ///              staleness at use; for kQueueDepth a=depth
 ///   extra    — small kind-specific integer (generation index, node count,
 ///              hop count, …)
+///   shard    — 1 + the engine shard the event was recorded on, or 0 when
+///              the run is unsharded (or the emitting thread is outside
+///              any shard).  Sites never set it: record() stamps it from
+///              the executing engine's published shard (sim_clock.hpp), so
+///              the chrome exporter can group a sharded run by shard.
 struct TraceEvent {
   SimTime at = 0.0;
   EventKind kind = EventKind::kRequestSubmitted;
+  std::uint16_t shard = 0;
   std::uint32_t extra = 0;
   std::uint64_t task = 0;
   std::uint64_t resource = 0;

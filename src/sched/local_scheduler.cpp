@@ -1,6 +1,7 @@
 #include "sched/local_scheduler.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/assert.hpp"
 #include "common/log.hpp"
@@ -198,6 +199,16 @@ void LocalScheduler::commit(std::size_t pending_index, NodeMask mask,
   engine_.schedule_milestone_at(end, [this, record = std::move(record)]() {
     --running_;
     ++completed_;
+    if (auto* reg = obs::registry()) {
+      // Live flow counters for the continuous sampler.  Busy time is
+      // node-seconds in integer microseconds: integer adds commute, so
+      // the running totals are identical at every shard count.
+      reg->counter("flow.completed").add(1);
+      reg->counter("flow.busy_us")
+          .add(static_cast<std::uint64_t>(
+                   std::llround((record.end - record.start) * 1e6)) *
+               static_cast<std::uint64_t>(node_count(record.mask)));
+    }
     obs::emit({.at = engine_.now(),
                .kind = obs::EventKind::kTaskCompleted,
                .task = record.task.value(),

@@ -157,8 +157,11 @@ bool Engine::step() {
   GRIDLB_ASSERT(entry.at >= now_);
   now_ = entry.at;
   // Publish the clock for off-engine consumers (logger sim-time prefixes,
-  // trace events emitted from thread-pool workers).
+  // trace events emitted from thread-pool workers) and the executing shard
+  // for trace-event stamping (0 = unsharded).
   simclock::publish(now_);
+  simclock::publish_shard(
+      shared_ != nullptr ? static_cast<std::uint16_t>(shard_index_ + 1) : 0);
   ++events_processed_;
   Engine* const previous = tls_current_engine;
   tls_current_engine = this;

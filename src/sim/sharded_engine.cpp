@@ -1,11 +1,14 @@
 #include "sim/sharded_engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 #include <thread>
 #include <utility>
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/registry.hpp"
 
 namespace gridlb::sim {
 
@@ -109,6 +112,7 @@ void ShardedEngine::drive(const DriveGoal& goal, SimTime horizon) {
   horizon_ = horizon;
   next_times_.assign(engines_.size(), kTimeInfinity);
   decision_ = Decision{};
+  setup_telemetry();
   SpinBarrier barrier(static_cast<int>(engines_.size()));
   barrier_ = &barrier;
   ThreadPool pool(static_cast<int>(engines_.size()));
@@ -121,6 +125,73 @@ void ShardedEngine::drive(const DriveGoal& goal, SimTime horizon) {
                       worker(static_cast<std::size_t>(begin), goal);
                     });
   barrier_ = nullptr;
+  if (telemetry_ != nullptr) {
+    // Final partial window (decide() can finish mid-window) + sweep tally.
+    flush_window_telemetry();
+    for (std::size_t s = 0; s < engines_.size(); ++s) {
+      obs::registry()
+          ->counter("shard." + std::to_string(s) + ".events_swept")
+          .add(engines_[s]->events_swept() - telemetry_->swept_base[s]);
+    }
+    telemetry_.reset();
+  }
+}
+
+void ShardedEngine::setup_telemetry() {
+  telemetry_.reset();
+  obs::MetricsRegistry* const registry = obs::registry();
+  if (registry == nullptr) return;
+  auto telemetry = std::make_unique<Telemetry>();
+  for (std::size_t s = 0; s < engines_.size(); ++s) {
+    const std::string prefix = "shard." + std::to_string(s) + ".";
+    telemetry->events.push_back(&registry->counter(prefix + "events"));
+    telemetry->barrier_wait_ns.push_back(
+        &registry->counter(prefix + "barrier_wait_ns"));
+    telemetry->outbox_messages.push_back(
+        &registry->counter(prefix + "outbox_messages"));
+    telemetry->serial_events.push_back(
+        &registry->counter(prefix + "serial_events"));
+    telemetry->window_base.push_back(engines_[s]->events_processed());
+    telemetry->swept_base.push_back(engines_[s]->events_swept());
+  }
+  telemetry->windows = &registry->counter("shard.windows");
+  telemetry->serial_entries = &registry->counter("shard.serial_entries");
+  telemetry->load_imbalance = &registry->gauge("shard.load_imbalance");
+  telemetry_ = std::move(telemetry);
+}
+
+void ShardedEngine::flush_window_telemetry() {
+  Telemetry& telemetry = *telemetry_;
+  std::uint64_t total = 0;
+  std::uint64_t busiest = 0;
+  for (std::size_t s = 0; s < engines_.size(); ++s) {
+    const std::uint64_t processed = engines_[s]->events_processed();
+    const std::uint64_t delta = processed - telemetry.window_base[s];
+    telemetry.window_base[s] = processed;
+    telemetry.events[s]->add(delta);
+    total += delta;
+    busiest = std::max(busiest, delta);
+  }
+  if (total == 0) return;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(engines_.size());
+  telemetry.imbalance_sum += static_cast<double>(busiest) / mean;
+  ++telemetry.imbalance_windows;
+  telemetry.load_imbalance->set(
+      telemetry.imbalance_sum /
+      static_cast<double>(telemetry.imbalance_windows));
+}
+
+bool ShardedEngine::await(std::size_t s) {
+  if (telemetry_ == nullptr) return barrier_->arrive_and_wait();
+  using clock = std::chrono::steady_clock;
+  const auto start = clock::now();
+  const bool alive = barrier_->arrive_and_wait();
+  telemetry_->barrier_wait_ns[s]->add(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                           start)
+          .count()));
+  return alive;
 }
 
 void ShardedEngine::worker(std::size_t s, const DriveGoal& goal) {
@@ -128,9 +199,9 @@ void ShardedEngine::worker(std::size_t s, const DriveGoal& goal) {
     Engine& engine = *engines_[s];
     for (;;) {
       next_times_[s] = engine.next_event_time();
-      if (!barrier_->arrive_and_wait()) return;  // A: next-times published
+      if (!await(s)) return;  // A: next-times published
       if (s == 0) decide(goal);
-      if (!barrier_->arrive_and_wait()) return;  // B: decision published
+      if (!await(s)) return;  // B: decision published
       const Decision decision = decision_;
       if (decision.kind == DecisionKind::kFinished) return;
       if (decision.kind == DecisionKind::kParallel) {
@@ -138,9 +209,9 @@ void ShardedEngine::worker(std::size_t s, const DriveGoal& goal) {
       } else if (s == 0) {
         run_serial(goal);
       }
-      if (!barrier_->arrive_and_wait()) return;  // C: window quiesced
+      if (!await(s)) return;  // C: window quiesced
       if (s == 0 && decision.kind == DecisionKind::kParallel) seal_window();
-      if (!barrier_->arrive_and_wait()) return;  // D: ranks + mail sealed
+      if (!await(s)) return;  // D: ranks + mail sealed
     }
   } catch (...) {
     // Release every other shard (they observe the kill and unwind
@@ -176,6 +247,12 @@ void ShardedEngine::decide(const DriveGoal& goal) {
 }
 
 void ShardedEngine::run_serial(const DriveGoal& goal) {
+  if (telemetry_ != nullptr) {
+    // Close the parallel-window accounting before serial stepping so the
+    // tail's events land in shard.<s>.serial_events, not a window delta.
+    flush_window_telemetry();
+    telemetry_->serial_entries->add(1);
+  }
   for (auto& engine : engines_) engine->set_serial_finalize(true);
   while (!goal.done()) {
     std::size_t best = engines_.size();
@@ -195,9 +272,22 @@ void ShardedEngine::run_serial(const DriveGoal& goal) {
     drain_outboxes();
   }
   for (auto& engine : engines_) engine->set_serial_finalize(false);
+  if (telemetry_ != nullptr) {
+    for (std::size_t s = 0; s < engines_.size(); ++s) {
+      const std::uint64_t processed = engines_[s]->events_processed();
+      const std::uint64_t delta = processed - telemetry_->window_base[s];
+      telemetry_->window_base[s] = processed;
+      telemetry_->events[s]->add(delta);
+      telemetry_->serial_events[s]->add(delta);
+    }
+  }
 }
 
 void ShardedEngine::seal_window() {
+  if (telemetry_ != nullptr) {
+    telemetry_->windows->add(1);
+    flush_window_telemetry();
+  }
   // K-way merge of the shards' window execution logs in lineage-key order,
   // assigning global ranks.  By the time a record reaches the head of its
   // shard's log its parent is always finalized: same-shard parents appear
@@ -237,7 +327,11 @@ void ShardedEngine::seal_window() {
 }
 
 void ShardedEngine::drain_outboxes() {
-  for (auto& box : outbox_) {
+  for (std::size_t src = 0; src < outbox_.size(); ++src) {
+    auto& box = outbox_[src];
+    if (telemetry_ != nullptr && !box.empty()) {
+      telemetry_->outbox_messages[src]->add(box.size());
+    }
     for (auto& posted : box) {
       engines_[posted.dest]->inject(posted.at, posted.ref,
                                     std::move(posted.fn));

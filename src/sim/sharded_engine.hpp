@@ -34,6 +34,11 @@
 #include "common/types.hpp"
 #include "sim/engine.hpp"
 
+namespace gridlb::obs {
+class Counter;
+class Gauge;
+}  // namespace gridlb::obs
+
 namespace gridlb::sim {
 
 /// Stop predicate for drive(): `done` flips when the run is complete and
@@ -108,11 +113,38 @@ class ShardedEngine {
     EventFn fn;
   };
 
+  /// Per-shard engine telemetry (DESIGN.md §14), published into the
+  /// active obs::MetricsRegistry when one is installed at drive() time:
+  /// `shard.<s>.events` / `.barrier_wait_ns` / `.outbox_messages` /
+  /// `.serial_events` / `.events_swept` counters, `shard.windows` /
+  /// `shard.serial_entries` run-wide counters, and a derived
+  /// `shard.load_imbalance` gauge — the running mean over windows of
+  /// (max events on one shard) / (mean events per shard).  All counters
+  /// are registry instruments, so enabling them never touches
+  /// ExperimentResult; barrier-wait time is wall-clock and therefore the
+  /// one deliberately nondeterministic number in the registry.
+  struct Telemetry {
+    std::vector<obs::Counter*> events;
+    std::vector<obs::Counter*> barrier_wait_ns;
+    std::vector<obs::Counter*> outbox_messages;
+    std::vector<obs::Counter*> serial_events;
+    obs::Counter* windows = nullptr;
+    obs::Counter* serial_entries = nullptr;
+    obs::Gauge* load_imbalance = nullptr;
+    std::vector<std::uint64_t> window_base;  ///< events at window start
+    std::vector<std::uint64_t> swept_base;   ///< swept at drive start
+    double imbalance_sum = 0.0;
+    std::uint64_t imbalance_windows = 0;
+  };
+
   void worker(std::size_t s, const DriveGoal& goal);
   void decide(const DriveGoal& goal);
   void run_serial(const DriveGoal& goal);
   void seal_window();
   void drain_outboxes();
+  void setup_telemetry();
+  void flush_window_telemetry();
+  bool await(std::size_t s);  ///< arrive_and_wait, timed when telemetry on
 
   SimTime lookahead_ = 0.0;
   LineageShared shared_;
@@ -124,6 +156,7 @@ class ShardedEngine {
   std::vector<SimTime> next_times_;
   Decision decision_;
   SpinBarrier* barrier_ = nullptr;
+  std::unique_ptr<Telemetry> telemetry_;
 };
 
 }  // namespace gridlb::sim

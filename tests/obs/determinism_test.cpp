@@ -69,5 +69,74 @@ TEST(ObservationNeutrality, FifoExperimentIsAlsoNeutral) {
   expect_identical(plain, observed);
 }
 
+// --- Continuous sampler (DESIGN.md §14) ---------------------------------
+//
+// The sampler schedules real engine events, so neutrality is a stronger
+// claim than for passive tracing: the ticks must neither perturb the
+// schedule (lineage order, exact stop) nor leak into the published event
+// count.  Pinned here for every experiment shape at shard counts 1 and 4.
+
+/// Tracing + metrics + a fast sampling cadence, no output files.
+void enable_sampling(ExperimentConfig& config) {
+  config.obs.trace = true;
+  config.obs.metrics = true;
+  config.obs.metrics_interval = 25.0;
+}
+
+void expect_sampler_neutral(ExperimentConfig config) {
+  config.system.sim_shards = 1;
+  const ExperimentResult plain = run_experiment(config);
+
+  ExperimentConfig sampled1 = config;
+  enable_sampling(sampled1);
+  const ExperimentResult observed1 = run_experiment(sampled1);
+  expect_identical(plain, observed1);
+
+  ExperimentConfig sampled4 = config;
+  sampled4.system.sim_shards = 4;
+  enable_sampling(sampled4);
+  const ExperimentResult observed4 = run_experiment(sampled4);
+  expect_identical(plain, observed4);
+}
+
+TEST(SamplerNeutrality, Experiment1AtShards1And4) {
+  ExperimentConfig config = experiment1();
+  config.workload.count = 24;
+  expect_sampler_neutral(config);
+}
+
+TEST(SamplerNeutrality, Experiment2AtShards1And4) {
+  ExperimentConfig config = experiment2();
+  config.workload.count = 24;
+  expect_sampler_neutral(config);
+}
+
+TEST(SamplerNeutrality, Experiment3AtShards1And4) {
+  expect_sampler_neutral(small_experiment3());
+}
+
+TEST(SamplerNeutrality, CentralOracleIsNeutral) {
+  ExperimentConfig config = experiment2();
+  config.name = "central";
+  config.workload.count = 24;
+  const ExperimentResult plain = run_central_experiment(config);
+  ExperimentConfig sampled = config;
+  enable_sampling(sampled);
+  const ExperimentResult observed = run_central_experiment(sampled);
+  expect_identical(plain, observed);
+  EXPECT_GT(observed.trace_events, 0u);
+}
+
+TEST(SamplerNeutrality, SamplerActuallySampled) {
+  // Guard against the suite passing vacuously: the sampled run must have
+  // taken periodic samples (run length >> 25 s cadence).
+  ExperimentConfig config = small_experiment3();
+  enable_sampling(config);
+  config.system.sim_shards = 4;
+  const ExperimentResult result = run_experiment(config);
+  EXPECT_GT(result.finished_at, 50.0);
+  EXPECT_GT(result.trace_events, 0u);
+}
+
 }  // namespace
 }  // namespace gridlb::core

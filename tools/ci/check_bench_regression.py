@@ -26,6 +26,15 @@ at ~1.0 (e.g. the shard-scaling ratio recorded on a single-core box)
 don't impose that floor, since the capturing machine could not express
 a speedup in the first place.
 
+A ratio key may carry an explicit absolute floor as `key@floor`
+(e.g. `plain_vs_observed@0.95`): the current ratio must then stay at or
+above that literal value regardless of what the baseline recorded, and
+the explicit floor *replaces* the implicit >1.0 rule — a parity bench
+captured at 1.01 is noise around 1.0, not a speedup to defend.  This is
+how the observability-overhead gate encodes "< 5% overhead": the
+plain/observed ratio sits near 1.0 by construction, so a relative
+tolerance alone would wave through a 20% slowdown.
+
 --self-test fabricates pass/fail report pairs in a temp directory and
 asserts the exit codes; it is wired into ctest so the gate logic itself
 is under test.
@@ -50,6 +59,14 @@ def load_report(path):
 
 def check_one(baseline_path, current_path, key):
     """Returns 0 on pass, 1 on regression, 2 on malformed input."""
+    floor = None
+    if "@" in key:
+        key, floor_text = key.split("@", 1)
+        try:
+            floor = float(floor_text)
+        except ValueError:
+            print(f"ERROR: malformed floor in '{key}@{floor_text}'")
+            return 2
     baseline = load_report(baseline_path)
     current = load_report(current_path)
     for name, doc, path in (("baseline", baseline, baseline_path),
@@ -72,7 +89,13 @@ def check_one(baseline_path, current_path, key):
     print(f"current  ratio          : {cur_ratio:.3f}")
     print(f"threshold ({TOLERANCE:.0%} of base): {threshold:.3f}")
 
-    if base_ratio > 1.0 and cur_ratio <= 1.0:
+    if floor is not None:
+        print(f"absolute floor          : {floor:.3f}")
+        if cur_ratio < floor:
+            print(f"FAIL: {key} at {cur_ratio:.3f} is below the absolute "
+                  f"floor {floor:.3f}")
+            return 1
+    elif base_ratio > 1.0 and cur_ratio <= 1.0:
         print(f"FAIL: {key} fell to {cur_ratio:.3f} — the measured path is "
               "no longer faster than its in-process reference")
         return 1
@@ -141,6 +164,37 @@ def self_test():
         expect("two triples pass", 0,
                base, good, DEFAULT_KEY,
                base, good, "speedup_vs_single_shard")
+
+        # key@floor: absolute floors independent of the baseline ratio.
+        obs_base = write(tmp, "obs_base.json", {
+            "description": "fabricated",
+            "current": {"bench": "fake", "plain_vs_observed": 1.01}})
+        obs_good = write(tmp, "obs_good.json", {
+            "bench": "fake", "plain_vs_observed": 0.97})
+        obs_slow = write(tmp, "obs_slow.json", {
+            "bench": "fake", "plain_vs_observed": 0.90})
+        # Baseline pinned at exactly 1.0 so neither the >1.0 hard-floor
+        # rule nor the relative tolerance fires — only the explicit floor
+        # decides these cases.
+        flat_base = write(tmp, "flat_base.json", {
+            "bench": "fake", "plain_vs_observed": 1.0})
+        expect("floor pass", 0, flat_base, obs_good,
+               "plain_vs_observed@0.95")
+        expect("floor fail", 1, flat_base, obs_slow,
+               "plain_vs_observed@0.95")
+        # Without the floor the same 0.90 sails through the 75% relative
+        # tolerance — the floor is what makes the overhead gate bite.
+        expect("no floor lets 0.90 pass", 0, flat_base, obs_slow,
+               "plain_vs_observed")
+        expect("malformed floor", 2, flat_base, obs_good,
+               "plain_vs_observed@fast")
+        # Wrapped committed baseline at 1.01: without the explicit floor
+        # the implicit >1.0 rule would reject 0.97, but a parity bench's
+        # 1.01 is noise, not a speedup — the explicit floor replaces it.
+        expect("floor with wrapped baseline", 0, obs_base, obs_good,
+               "plain_vs_observed@0.95")
+        expect("implicit rule without floor", 1, obs_base, obs_good,
+               "plain_vs_observed")
 
     if failures:
         print(f"self-test FAILED: {failures}")

@@ -31,9 +31,15 @@
 // loss-tolerant agent protocol (retries, ACT expiry, resubmission).
 //
 // Observability (experiment and campaign commands):
-//   --trace-out=FILE     Chrome trace-event JSON (open in Perfetto)
-//   --events-out=FILE    flat JSONL event dump
-//   --metrics-json=FILE  metrics-registry snapshot as JSON
+//   --trace-out=FILE        Chrome trace-event JSON (open in Perfetto)
+//   --events-out=FILE       flat JSONL event dump
+//   --metrics-json=FILE     metrics-registry snapshot as JSON
+//   --metrics-interval=SEC  continuous sampling cadence in sim-seconds
+//   --series-out=FILE       sampled time series as JSONL (one row/line)
+//   --series-csv=FILE       sampled time series as CSV
+//   --progress              stderr heartbeat line per sample
+// The sampled series + metrics JSON feed tools/campaign_report.py, which
+// renders a single self-contained HTML health report (DESIGN.md §14).
 //
 // Everything runs in virtual time; identical flags give identical output,
 // and enabling tracing never changes results (DESIGN.md §9).
@@ -120,12 +126,20 @@ int cmd_predict(const Flags& flags) {
   return 0;
 }
 
-/// Fills config.obs from --trace-out / --events-out / --metrics-json.
-/// Shared by the experiment and campaign commands.
+/// Fills config.obs from --trace-out / --events-out / --metrics-json and
+/// the continuous-profiling flags (--metrics-interval / --series-out /
+/// --series-csv / --progress).  Shared by the experiment and campaign
+/// commands.
 void apply_obs_flags(const Flags& flags, core::ExperimentConfig& config) {
   config.obs.trace_out = flags.get("trace-out", "");
   config.obs.events_out = flags.get("events-out", "");
   config.obs.metrics_json_out = flags.get("metrics-json", "");
+  config.obs.metrics_interval = flags.get_double("metrics-interval", 0.0);
+  GRIDLB_REQUIRE(config.obs.metrics_interval >= 0.0,
+                 "--metrics-interval must be >= 0");
+  config.obs.series_jsonl_out = flags.get("series-out", "");
+  config.obs.series_csv_out = flags.get("series-csv", "");
+  config.obs.progress = flags.get_bool("progress", false);
 }
 
 /// Fills the fault plan and agent churn from --drop-prob / --net-jitter /
@@ -228,7 +242,8 @@ int cmd_experiment(const Flags& flags) {
   std::vector<core::ExperimentResult> results;
   if (configs.size() > 1 &&
       (flags.has("trace-out") || flags.has("events-out") ||
-       flags.has("metrics-json"))) {
+       flags.has("metrics-json") || flags.has("series-out") ||
+       flags.has("series-csv"))) {
     log::warn("observability outputs with --id all: each experiment "
               "overwrites the file; the last one wins");
   }
@@ -307,7 +322,16 @@ int cmd_campaign(const Flags& flags) {
   if (flags.get_bool("csv", false)) {
     std::cout << report::report_csv(result.report);
   } else {
-    std::cout << metrics::format_report(result.report);
+    // Surface trace-ring drops next to the numbers they taint: a truncated
+    // trace silently skews any analysis done on the exported files.
+    std::vector<std::string> notes;
+    if (result.trace_dropped > 0) {
+      notes.push_back(
+          "trace ring overflow: " + std::to_string(result.trace_dropped) +
+          " of " + std::to_string(result.trace_events) +
+          " events dropped; raise the ring capacity or shorten the run");
+    }
+    std::cout << metrics::format_report(result.report, notes);
     std::printf("\n%llu/%llu tasks completed by t=%.0fs; %.2f mean hops; "
                 "%llu messages; cache hit rate %.1f%%\n",
                 static_cast<unsigned long long>(result.tasks_completed),
@@ -370,6 +394,11 @@ Flags make_flags() {
   flags.declare("trace-out", "file", "write Chrome trace-event JSON");
   flags.declare("events-out", "file", "write flat JSONL event dump");
   flags.declare("metrics-json", "file", "write metrics registry as JSON");
+  flags.declare("metrics-interval", "sec",
+                "sample the registry every N sim-seconds (default 60)");
+  flags.declare("series-out", "file", "write sampled time series as JSONL");
+  flags.declare("series-csv", "file", "write sampled time series as CSV");
+  flags.declare("progress", "", "print a heartbeat line per sample");
   flags.declare("app", "name", "paper application (predict)");
   flags.declare("model", "file", "PACE model file (predict)");
   flags.declare("hardware", "type", "platform name (predict)");
