@@ -48,8 +48,8 @@ int main() {
   {
     core::ExperimentConfig config = core::experiment3();
     config.name = "central oracle";
-    print_row("central omniscient oracle",
-              core::run_central_experiment(config));
+    config.placement = core::PlacementFamily::kCentralOracle;
+    print_row("central omniscient oracle", core::run_experiment(config));
   }
   std::printf("\nreading: the oracle bounds achievable quality; the "
               "hierarchy recovers most\nof the gap between no balancing and "

@@ -8,6 +8,7 @@
 #include <memory>
 #include <optional>
 #include <sstream>
+#include <unordered_map>
 
 #include "agents/portal.hpp"
 #include "common/assert.hpp"
@@ -15,7 +16,9 @@
 #include "common/sim_clock.hpp"
 #include "common/thread_pool.hpp"
 #include "core/case_study.hpp"
+#include "obs/trace.hpp"
 #include "pace/paper_applications.hpp"
+#include "sched/hash_placement.hpp"
 #include "sim/engine.hpp"
 #include "sim/sharded_engine.hpp"
 
@@ -239,7 +242,16 @@ ExperimentConfig experiment3() {
   return config;
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
+namespace {
+
+/// The agent-path run, covering families kAgentDiscovery and
+/// kHashPlacement.  For the former this is byte-for-byte the historical
+/// run_experiment.  For the latter the dispatcher has already cooled the
+/// hierarchy (discovery and pulls off), and the portal routes every
+/// submission through the straw map built below instead of the
+/// workload's nominated entry agent — everything downstream (reliable
+/// links, faults, churn, engine sharding) applies unchanged.
+ExperimentResult run_agent_impl(const ExperimentConfig& config) {
   GRIDLB_REQUIRE(!config.system.resources.empty(),
                  "experiment needs resources");
 
@@ -270,12 +282,95 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                      [&portal, task]() { portal.resubmit(task); });
       });
 
+  // Stateless placement map (kHashPlacement only): one straw target per
+  // resource, weighted by hardware capacity.  The map lives on the portal
+  // shard and mutates only inside submission events — a strictly ordered,
+  // single-shard sequence — so every placement (and therefore the whole
+  // run) is identical at any shard count.
+  const bool hashed = config.placement == PlacementFamily::kHashPlacement;
+  std::optional<sched::HashPlacement> placement;
+  std::uint64_t placement_decisions = 0;
+  if (hashed) {
+    sched::HashPlacement::Config placement_config;
+    placement_config.seed = config.placement_seed;
+    placement_config.load_tau = config.placement_load_tau;
+    std::vector<sched::PlacementTarget> targets;
+    targets.reserve(system.size());
+    for (std::size_t i = 0; i < system.size(); ++i) {
+      const agents::ResourceSpec& spec = config.system.resources[i];
+      targets.push_back(sched::PlacementTarget{
+          system.agent(i).id(),
+          sched::HashPlacement::hardware_weight(
+              pace::ResourceModel::of(spec.hardware), spec.node_count)});
+    }
+    placement.emplace(placement_config, std::move(targets));
+  }
+  // Expected occupancy of one task of an application on each target (the
+  // same optimistic figure the ACT bookkeeping advances freetime by:
+  // execution time × nodes / nproc at the most efficient allocation),
+  // memoised per application.  Feeds the placement map's local backlog
+  // snapshots; no messages involved.
+  std::unordered_map<std::string, std::vector<double>> occupancy_memo;
+  const auto occupancy_of = [&](const std::string& app_name,
+                                std::size_t index) -> double {
+    auto [it, inserted] = occupancy_memo.try_emplace(app_name);
+    if (inserted) {
+      const pace::ApplicationModelPtr app = catalogue.find(app_name);
+      GRIDLB_REQUIRE(app != nullptr, "unknown application: " + app_name);
+      it->second.reserve(system.size());
+      for (std::size_t i = 0; i < system.size(); ++i) {
+        const agents::ResourceSpec& spec = config.system.resources[i];
+        const pace::ResourceModel model =
+            pace::ResourceModel::of(spec.hardware);
+        double best_exec = std::numeric_limits<double>::infinity();
+        int best_k = 1;
+        for (int k = 1; k <= spec.node_count; ++k) {
+          const double exec = system.evaluator().evaluate(*app, model, k);
+          if (exec < best_exec) {
+            best_exec = exec;
+            best_k = k;
+          }
+        }
+        it->second.push_back(best_exec * static_cast<double>(best_k) /
+                             static_cast<double>(spec.node_count));
+      }
+    }
+    return it->second[index];
+  };
+
   const std::vector<RequestSpec> workload = generate_workload(
       config.workload, catalogue, static_cast<int>(system.size()));
-  for (const RequestSpec& spec : workload) {
-    portal_engine.schedule_at(spec.at, [&, spec]() {
-      portal.submit(system.agent(static_cast<std::size_t>(spec.agent_index)),
-                    spec.app_name, portal_engine.now() + spec.deadline_offset);
+  for (std::size_t idx = 0; idx < workload.size(); ++idx) {
+    const RequestSpec& spec = workload[idx];
+    if (!hashed) {
+      portal_engine.schedule_at(spec.at, [&, spec]() {
+        portal.submit(system.agent(static_cast<std::size_t>(spec.agent_index)),
+                      spec.app_name,
+                      portal_engine.now() + spec.deadline_offset);
+      });
+      continue;
+    }
+    portal_engine.schedule_at(spec.at, [&, spec, idx]() {
+      // The straw key is the workload ordinal — stable across shard
+      // counts and equal to the TaskId the portal is about to assign
+      // minus one (submissions execute in workload order).
+      const SimTime now = portal_engine.now();
+      const sched::PlacementDecision decision = placement->place(idx, now);
+      placement->record_dispatch(decision.index, now,
+                                 occupancy_of(spec.app_name, decision.index));
+      ++placement_decisions;
+      obs::emit({.at = now,
+                 .kind = obs::EventKind::kPlacementDecision,
+                 .extra = static_cast<std::uint32_t>(decision.index),
+                 .task = idx + 1,
+                 .resource = decision.resource.value(),
+                 .a = decision.draw,
+                 .b = placement->targets()[decision.index].weight});
+      if (auto* reg = obs::registry()) {
+        reg->counter("placement.decisions").add(1);
+      }
+      portal.submit(system.agent(decision.index), spec.app_name,
+                    now + spec.deadline_offset);
     });
   }
 
@@ -382,11 +477,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.agent_crashes += system.agent(i).stats().crashes;
     result.agent_restarts += system.agent(i).stats().restarts;
   }
+  result.placement_decisions = placement_decisions;
   obs_scope.finish(result, system);
   return result;
 }
 
-ExperimentResult run_central_experiment(const ExperimentConfig& config) {
+/// The oracle-path run (family kCentralOracle).
+ExperimentResult run_central_impl(const ExperimentConfig& config) {
   GRIDLB_REQUIRE(!config.system.resources.empty(),
                  "experiment needs resources");
 
@@ -498,6 +595,57 @@ ExperimentResult run_central_experiment(const ExperimentConfig& config) {
   result.cache.hits += result.table_reads;
   obs_scope.finish(result, system);
   return result;
+}
+
+}  // namespace
+
+std::string placement_family_name(PlacementFamily family) {
+  switch (family) {
+    case PlacementFamily::kAgentDiscovery: return "agent";
+    case PlacementFamily::kCentralOracle: return "central";
+    case PlacementFamily::kHashPlacement: return "crush";
+  }
+  GRIDLB_REQUIRE(false, "unknown placement family");
+}
+
+PlacementFamily placement_family_from_name(const std::string& name) {
+  if (name == "agent" || name == "discovery") {
+    return PlacementFamily::kAgentDiscovery;
+  }
+  if (name == "central" || name == "central-oracle" || name == "oracle") {
+    return PlacementFamily::kCentralOracle;
+  }
+  if (name == "crush" || name == "hash") {
+    return PlacementFamily::kHashPlacement;
+  }
+  GRIDLB_REQUIRE(false, "unknown placement family: " + name +
+                            " (expected agent, central or crush; deprecated "
+                            "aliases: discovery, central-oracle, oracle, "
+                            "hash)");
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  switch (config.placement) {
+    case PlacementFamily::kCentralOracle:
+      return run_central_impl(config);
+    case PlacementFamily::kHashPlacement: {
+      // The straw map resolves every request up front, so the hierarchy's
+      // discovery walk and advertisement pulls would be dead weight: turn
+      // them off and let the hashed entry execute each request locally.
+      ExperimentConfig hashed = config;
+      hashed.system.discovery_enabled = false;
+      hashed.system.pull_period = 0.0;
+      return run_agent_impl(hashed);
+    }
+    case PlacementFamily::kAgentDiscovery: break;
+  }
+  return run_agent_impl(config);
+}
+
+ExperimentResult run_central_experiment(const ExperimentConfig& config) {
+  ExperimentConfig central = config;
+  central.placement = PlacementFamily::kCentralOracle;
+  return run_experiment(central);
 }
 
 std::string format_table3(const std::vector<ExperimentResult>& results) {

@@ -9,6 +9,7 @@
 // used by the ablation benches.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,31 @@
 
 namespace gridlb::core {
 
+/// Which placement tier routes each submitted request onto a resource.
+/// Orthogonal to the *local* scheduling policy (FIFO/GA), which decides
+/// node allocation once a request has landed (DESIGN.md §15).
+enum class PlacementFamily : std::uint8_t {
+  /// The paper's architecture: requests enter at an agent and walk the
+  /// hierarchy using advertised service information (experiments 1–3).
+  kAgentDiscovery,
+  /// Idealised omniscient dispatcher with zero-staleness, zero-cost
+  /// visibility of every resource — the centralised strawman.
+  kCentralOracle,
+  /// CRUSH-style stateless hashed placement: the portal maps each
+  /// request onto a resource with a weighted straw2 draw over the
+  /// resource tree — no discovery messages at all (DESIGN.md §15).
+  kHashPlacement,
+};
+
+/// Canonical CLI spelling: "agent" | "central" | "crush".
+[[nodiscard]] std::string placement_family_name(PlacementFamily family);
+
+/// Parses a placement family name.  Accepts the canonical spellings plus
+/// deprecated aliases ("central-oracle", "oracle", "discovery", "hash");
+/// anything else fails with a message listing the valid values.
+[[nodiscard]] PlacementFamily placement_family_from_name(
+    const std::string& name);
+
 struct ExperimentConfig {
   std::string name;
   /// The whole grid under test — resources, scheduling policy, discovery,
@@ -27,6 +53,15 @@ struct ExperimentConfig {
   /// bench, and CLI flag without a mirror field here.
   agents::SystemConfig system;
   WorkloadConfig workload;
+  /// Placement family dispatched by run_experiment (DESIGN.md §15).
+  PlacementFamily placement = PlacementFamily::kAgentDiscovery;
+  /// Hash placement only: backlog-discount time constant τ in seconds for
+  /// the portal's optimistic freetime snapshots (a target carrying b
+  /// seconds of routed backlog competes with weight w / (1 + b/τ)).
+  /// 0 keeps the map purely hardware-weighted.
+  double placement_load_tau = 60.0;
+  /// Hash placement only: placement-map generation seed.
+  std::uint64_t placement_seed = 0x6c6f6164;
   /// Abort (with an assertion) if the grid has not drained by this time.
   SimTime horizon_limit = 48.0 * 3600.0;
   /// Observability: tracing/metrics instruments and their output files.
@@ -77,21 +112,31 @@ struct ExperimentResult {
   std::uint64_t agent_crashes = 0;
   std::uint64_t agent_restarts = 0;
   std::uint64_t tasks_resubmitted = 0; ///< stranded tasks re-discovered
+  // Stateless placement (zero except under kHashPlacement).
+  std::uint64_t placement_decisions = 0;  ///< straw draws the portal made
 };
 
 /// Runs one experiment to completion (all submitted tasks executed or
-/// dropped) and gathers every statistic.
+/// dropped) and gathers every statistic.  Dispatches on
+/// `config.placement`:
+///   kAgentDiscovery — the paper's agent hierarchy, byte-for-byte the
+///       historical behaviour;
+///   kCentralOracle  — an omniscient dispatcher that sees every
+///       resource's live freetime with zero staleness and zero message
+///       cost and sends each request to the globally best estimate
+///       (eq. 10 over all resources).  This is the centralised
+///       architecture the paper argues against; comparing it with
+///       experiment 3 quantifies what neighbour-only discovery gives up
+///       for its decentralisation;
+///   kHashPlacement  — the stateless straw map of DESIGN.md §15: the
+///       portal hashes each request straight onto a resource (zero
+///       discovery traffic) and submits over the usual reliable link, so
+///       loss, churn and fault tolerance apply unchanged.
+/// Local scheduling always uses `config.system.policy`.
 [[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& config);
 
-/// Runs the same workload under an idealised *central* dispatcher: an
-/// omniscient scheduler that sees every resource's live freetime with
-/// zero staleness and zero message cost, and sends each request to the
-/// globally best estimate (eq. 10 over all resources).  This is the
-/// centralised architecture the paper argues against ("no central
-/// structure which might act as a potential bottleneck"); comparing it
-/// with experiment 3 quantifies how much the neighbour-only discovery
-/// gives up for its decentralisation.  Local scheduling still uses
-/// `config.policy`.
+/// Deprecated alias for run_experiment with placement = kCentralOracle;
+/// prefer setting `ExperimentConfig::placement` directly.
 [[nodiscard]] ExperimentResult run_central_experiment(
     const ExperimentConfig& config);
 

@@ -41,6 +41,7 @@ std::string_view kind_name(EventKind kind) {
     case EventKind::kAgentCrashed: return "agent_crashed";
     case EventKind::kAgentRestarted: return "agent_restarted";
     case EventKind::kTaskResubmitted: return "task_resubmitted";
+    case EventKind::kPlacementDecision: return "placement_decision";
     case EventKind::kShardSample: return "shard_sample";
   }
   return "unknown";

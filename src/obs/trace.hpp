@@ -66,6 +66,10 @@ enum class EventKind : std::uint8_t {
   kAgentCrashed,       ///< agent process failed (endpoint down)
   kAgentRestarted,     ///< agent process came back (fresh ACT)
   kTaskResubmitted,    ///< portal re-injected a task stranded on a crash
+  // Stateless placement (DESIGN.md §15).
+  kPlacementDecision,  ///< hashed placement: resource=winning target,
+                       ///< a=winning straw draw, b=live map weight,
+                       ///< extra=target index
   // Engine-shard telemetry (DESIGN.md §14).
   kShardSample,        ///< sampler tick: extra=shard index (0-based),
                        ///< a=events, b=barrier-wait ns this interval

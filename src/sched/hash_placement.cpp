@@ -1,0 +1,116 @@
+#include "sched/hash_placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+
+namespace gridlb::sched {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mix, the same shape the
+/// Rng seeder uses.  Placement only needs a stationary hash (no stream),
+/// so one round per word keeps place() cheap.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Hash of (seed, key, target) mapped to (0, 1]: the top 53 bits make the
+/// mantissa, +1 excludes zero so the logarithm below is always finite.
+double unit_draw(std::uint64_t seed, std::uint64_t key, std::uint64_t target) {
+  const std::uint64_t h = mix64(mix64(seed ^ key) ^ target);
+  return (static_cast<double>(h >> 11) + 1.0) * 0x1.0p-53;
+}
+
+}  // namespace
+
+HashPlacement::HashPlacement(Config config, std::vector<PlacementTarget> targets)
+    : config_(config), targets_(std::move(targets)) {
+  GRIDLB_REQUIRE(!targets_.empty(), "placement needs at least one target");
+  GRIDLB_REQUIRE(config_.load_tau >= 0.0,
+                 "load tau cannot be negative (0 = no load tracking)");
+  for (const PlacementTarget& target : targets_) {
+    GRIDLB_REQUIRE(target.resource.valid(),
+                   "placement target needs a valid resource id");
+    GRIDLB_REQUIRE(target.weight > 0.0,
+                   "placement weights must be positive");
+  }
+  available_.assign(targets_.size(), 1);
+  busy_until_.assign(targets_.size(), 0.0);
+}
+
+double HashPlacement::hardware_weight(const pace::ResourceModel& model,
+                                      int node_count) {
+  GRIDLB_REQUIRE(node_count >= 1 && model.factor > 0.0,
+                 "hardware weight needs nodes and a positive factor");
+  return static_cast<double>(node_count) / model.factor;
+}
+
+PlacementDecision HashPlacement::place(std::uint64_t key, SimTime now) const {
+  // Straw2: every available target draws ln(u)/w — a negative number
+  // closer to zero the heavier the target — and the largest draw wins.
+  // Each draw depends only on (seed, key, own id, own weight), never on
+  // the other targets, which is the whole remapping contract.
+  PlacementDecision best;
+  double best_draw = -std::numeric_limits<double>::infinity();
+  bool found = false;
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (!available_[i]) continue;
+    double weight = targets_[i].weight;
+    if (config_.load_tau > 0.0) {
+      const double backlog = std::max(0.0, busy_until_[i] - now);
+      weight /= 1.0 + backlog / config_.load_tau;
+    }
+    const double draw =
+        std::log(unit_draw(config_.seed, key, targets_[i].resource.value())) /
+        weight;
+    if (!found || draw > best_draw) {
+      found = true;
+      best_draw = draw;
+      best.index = i;
+    }
+  }
+  GRIDLB_REQUIRE(found, "placement has no available target");
+  best.resource = targets_[best.index].resource;
+  best.draw = best_draw;
+  return best;
+}
+
+void HashPlacement::record_dispatch(std::size_t index, SimTime now,
+                                    double occupancy) {
+  GRIDLB_REQUIRE(index < targets_.size(), "placement target out of range");
+  if (config_.load_tau <= 0.0) return;
+  busy_until_[index] =
+      std::max(busy_until_[index], now) + std::max(0.0, occupancy);
+}
+
+void HashPlacement::set_weight(std::size_t index, double weight) {
+  GRIDLB_REQUIRE(index < targets_.size(), "placement target out of range");
+  GRIDLB_REQUIRE(weight > 0.0, "placement weights must be positive");
+  targets_[index].weight = weight;
+}
+
+void HashPlacement::set_available(std::size_t index, bool up) {
+  GRIDLB_REQUIRE(index < targets_.size(), "placement target out of range");
+  available_[index] = up ? 1 : 0;
+}
+
+bool HashPlacement::available(std::size_t index) const {
+  GRIDLB_REQUIRE(index < targets_.size(), "placement target out of range");
+  return available_[index] != 0;
+}
+
+double HashPlacement::total_weight() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < targets_.size(); ++i) {
+    if (available_[i]) total += targets_[i].weight;
+  }
+  return total;
+}
+
+}  // namespace gridlb::sched

@@ -11,6 +11,7 @@ Flags declared() {
   Flags flags;
   flags.declare("requests", "N", "request count");
   flags.declare("policy", "ga|fifo", "scheduling policy");
+  flags.declare("placement", "agent|central|crush", "placement family");
   flags.declare("rate", "x", "a real number");
   flags.declare("csv", "", "boolean switch");
   return flags;
@@ -86,6 +87,14 @@ TEST(Flags, LastOccurrenceWins) {
   parse(mixed, {"--policy=ga", "--csv", "--policy", "fifo", "--csv=off"});
   EXPECT_EQ(mixed.get("policy", ""), "fifo");
   EXPECT_FALSE(mixed.get_bool("csv", true));
+
+  // --placement follows the same override convention, in both forms and
+  // independently of the (orthogonal) local-policy flag.
+  Flags placement = declared();
+  parse(placement,
+        {"--placement", "agent", "--policy=fifo", "--placement=crush"});
+  EXPECT_EQ(placement.get("placement", ""), "crush");
+  EXPECT_EQ(placement.get("policy", ""), "fifo");
 }
 
 TEST(Flags, TrailingGarbageInNumbersThrows) {

@@ -118,11 +118,12 @@ TEST(SamplerNeutrality, Experiment3AtShards1And4) {
 TEST(SamplerNeutrality, CentralOracleIsNeutral) {
   ExperimentConfig config = experiment2();
   config.name = "central";
+  config.placement = PlacementFamily::kCentralOracle;
   config.workload.count = 24;
-  const ExperimentResult plain = run_central_experiment(config);
+  const ExperimentResult plain = run_experiment(config);
   ExperimentConfig sampled = config;
   enable_sampling(sampled);
-  const ExperimentResult observed = run_central_experiment(sampled);
+  const ExperimentResult observed = run_experiment(sampled);
   expect_identical(plain, observed);
   EXPECT_GT(observed.trace_events, 0u);
 }

@@ -8,7 +8,8 @@
 //   gridlb experiment [--id 1|2|3|all] [--requests N] [--seed S] [--csv]
 //       Run the case-study experiments and print Table 3 (or CSV).
 //   gridlb campaign [--requests N] [--policy ga|fifo] [--agents on|off]
-//                   [--seed S] [--pull-period P] [--prediction-error E]
+//                   [--placement agent|central|crush] [--seed S]
+//                   [--pull-period P] [--prediction-error E]
 //                   [--eval-threads N] [--churn-mtbf M --churn-mttr R]
 //                   [--sim-shards N] [--csv] [--trace S1]
 //       Run a custom campaign on the Fig. 7 grid; --trace renders one
@@ -25,6 +26,12 @@
 // shard count, see DESIGN.md §13).  --timeline-out writes the
 // per-resource utilisation timeline as CSV (--timeline-window buckets),
 // and --require-complete exits non-zero unless every task completed.
+//
+// Placement families (experiment and campaign commands, DESIGN.md §15):
+// --placement selects how requests are routed onto resources — agent
+// (the paper's hierarchy, default), central (omniscient oracle; aliases
+// central-oracle, oracle) or crush (stateless hashed straw map; alias
+// hash).  Orthogonal to --policy, which stays the *local* scheduler.
 //
 // Fault injection (experiment and campaign commands): --drop-prob,
 // --net-jitter, --agent-mtbf/--agent-mttr.  Any of these switches on the
@@ -206,6 +213,8 @@ core::ExperimentConfig campaign_config(const Flags& flags) {
                  "--policy must be ga or fifo");
   config.system.policy = policy == "ga" ? sched::SchedulerPolicy::kGa
                                         : sched::SchedulerPolicy::kFifo;
+  config.placement = core::placement_family_from_name(
+      flags.get("placement", core::placement_family_name(config.placement)));
   config.system.discovery_enabled = flags.get_bool("agents", true);
   config.system.ga.eval_threads = flags.get_int("eval-threads", 0);
   GRIDLB_REQUIRE(config.system.ga.eval_threads >= 0,
@@ -253,6 +262,8 @@ int cmd_experiment(const Flags& flags) {
         static_cast<std::uint64_t>(flags.get_int("seed", 2003));
     config.system.ga.eval_threads = flags.get_int("eval-threads", 0);
     config.system.sim_shards = flags.get_int("sim-shards", 1);
+    config.placement = core::placement_family_from_name(
+        flags.get("placement", core::placement_family_name(config.placement)));
     apply_fault_flags(flags, config);
     apply_obs_flags(flags, config);
     log::info("running ", config.name, "…");
@@ -339,6 +350,11 @@ int cmd_campaign(const Flags& flags) {
                 result.finished_at, result.mean_hops,
                 static_cast<unsigned long long>(result.network_messages),
                 result.cache.hit_rate() * 100.0);
+    if (result.placement_decisions > 0) {
+      std::printf("%llu requests hash-placed by the stateless straw map "
+                  "(0 discovery messages)\n",
+                  static_cast<unsigned long long>(result.placement_decisions));
+    }
   }
   if (flags.get_bool("require-complete", false) &&
       result.tasks_completed < result.requests_submitted) {
@@ -361,6 +377,8 @@ Flags make_flags() {
                 "GA evaluate-phase threads (0 = hardware concurrency)");
   flags.declare("sim-shards", "N",
                 "engine shards (1 = classic, 0 = hardware concurrency)");
+  flags.declare("placement", "agent|central|crush",
+                "placement family routing requests onto resources");
   flags.declare("agents", "on|off", "agent-based discovery");
   flags.declare("pull-period", "sec", "advertisement pull period");
   flags.declare("prediction-error", "e", "actual = predicted × U[1−e,1+e]");
