@@ -454,6 +454,10 @@ ExperimentResult run_agent_impl(const ExperimentConfig& config) {
     executed += agent.stats().dispatched_local;
     result.ga_decodes += agent.scheduler().ga_decodes();
     result.ga_memo_hits += agent.scheduler().ga_memo_hits();
+    result.ga_delta_evals += agent.scheduler().ga_delta_evals();
+    result.ga_full_evals += agent.scheduler().ga_full_evals();
+    result.ga_eval_threads =
+        std::max(result.ga_eval_threads, agent.scheduler().ga_eval_threads());
     result.fifo_subsets += agent.scheduler().fifo_subsets_tried();
     result.table_reads += agent.scheduler().prediction_table_reads();
   }
@@ -589,6 +593,10 @@ ExperimentResult run_central_impl(const ExperimentConfig& config) {
     result.agent_stats.push_back(system.agent(i).stats());
     result.ga_decodes += system.agent(i).scheduler().ga_decodes();
     result.ga_memo_hits += system.agent(i).scheduler().ga_memo_hits();
+    result.ga_delta_evals += system.agent(i).scheduler().ga_delta_evals();
+    result.ga_full_evals += system.agent(i).scheduler().ga_full_evals();
+    result.ga_eval_threads = std::max(
+        result.ga_eval_threads, system.agent(i).scheduler().ga_eval_threads());
     result.fifo_subsets += system.agent(i).scheduler().fifo_subsets_tried();
     result.table_reads += system.agent(i).scheduler().prediction_table_reads();
   }

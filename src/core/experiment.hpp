@@ -96,6 +96,13 @@ struct ExperimentResult {
   std::uint64_t table_reads = 0;
   std::uint64_t ga_decodes = 0;
   std::uint64_t ga_memo_hits = 0;  ///< evaluations skipped by genotype memo
+  /// Incremental vs from-scratch schedule evaluations (DESIGN.md §16);
+  /// `ga_delta_evals + ga_full_evals == ga_decodes` under the GA policy.
+  std::uint64_t ga_delta_evals = 0;
+  std::uint64_t ga_full_evals = 0;
+  /// Resolved GA evaluate-phase thread count (max across schedulers; 1
+  /// when sharding forces the serial path or the FIFO policy runs).
+  int ga_eval_threads = 1;
   std::uint64_t fifo_subsets = 0;
   std::uint64_t sim_events = 0;
   std::uint64_t sim_shards = 1;        ///< engine shards the run used

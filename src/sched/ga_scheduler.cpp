@@ -249,7 +249,11 @@ GaResult GaScheduler::optimize(std::span<const Task> tasks,
   // cache's shard locks.  Everything downstream (greedy seeds included)
   // reads predictions from the table.
   builder_->prepare(context_, tasks, node_free, now, available);
-  for (DecodeScratch& scratch : scratches_) scratch.table_reads = 0;
+  for (DecodeScratch& scratch : scratches_) {
+    scratch.table_reads = 0;
+    scratch.delta_evals = 0;
+    scratch.full_evals = 0;
+  }
   sync_population(tasks);
   const bool constrained = available != full_mask(builder_->node_count());
   if (constrained) {
@@ -272,6 +276,7 @@ GaResult GaScheduler::optimize(std::span<const Task> tasks,
   }
 
   GaResult result;
+  result.eval_threads = eval_threads();
   if (tasks.empty()) {
     result.best = SolutionString({}, {}, builder_->node_count());
     result.schedule = builder_->decode(context_, result.best, scratches_[0]);
@@ -281,24 +286,39 @@ GaResult GaScheduler::optimize(std::span<const Task> tasks,
   }
 
   const int n = config_.population_size;
+  const int m = static_cast<int>(tasks.size());
   costs_.assign(static_cast<std::size_t>(n), 0.0);
   metrics_.assign(static_cast<std::size_t>(n), ScheduleMetrics{});
   memo_.begin_run(static_cast<std::size_t>(n) *
                   static_cast<std::size_t>(config_.generations));
+  // Sync/constrain/seeding rewrote genomes above, so generation 0 has no
+  // usable lineage: every individual rebuilds fully.
+  parent_.assign(static_cast<std::size_t>(n), -1);
+  span_.assign(static_cast<std::size_t>(n), 0);
 
   // Per-slot decode counters: chunks accumulate into their own slot and
   // the main thread reduces after the join, so the count (and everything
   // else in GaResult) is independent of thread scheduling.
   decode_slots_.assign(scratches_.size(), 0);
-  const auto evaluate_chunk = [&](int begin, int end, int slot) {
+  const auto evaluate_chains = [&](int begin, int end, int slot) {
     DecodeScratch& scratch = scratches_[static_cast<std::size_t>(slot)];
-    for (int i = begin; i < end; ++i) {
-      const auto k =
-          static_cast<std::size_t>(eval_list_[static_cast<std::size_t>(i)]
-                                       .index);
-      metrics_[k] = builder_->evaluate(context_, population_[k], scratch);
-      costs_[k] = cost_value(metrics_[k], config_.weights);
-      ++decode_slots_[static_cast<std::size_t>(slot)];
+    for (int c = begin; c < end; ++c) {
+      const int first = chain_bounds_[static_cast<std::size_t>(c)];
+      const int last = chain_bounds_[static_cast<std::size_t>(c) + 1];
+      for (int i = first; i < last; ++i) {
+        const EvalItem& item =
+            eval_list_[static_cast<std::size_t>(chain_order_[
+                static_cast<std::size_t>(i)])];
+        const auto k = static_cast<std::size_t>(item.index);
+        // The chain head rebuilds fully (the scratch may hold any earlier
+        // chain's stream); every later member agrees with the member
+        // before it on at least its own span, so its span is valid.
+        const int span = i == first ? 0 : item.span;
+        metrics_[k] =
+            builder_->evaluate_from(context_, population_[k], scratch, span);
+        costs_[k] = cost_value(metrics_[k], config_.weights);
+        ++decode_slots_[static_cast<std::size_t>(slot)];
+      }
     }
   };
 
@@ -331,20 +351,55 @@ GaResult GaScheduler::optimize(std::span<const Task> tasks,
       if (rep >= 0) {
         fanout_.push_back(Fanout{k, rep});
       } else {
-        eval_list_.push_back(EvalItem{fp, k});
+        eval_list_.push_back(EvalItem{fp, k,
+                                      parent_[static_cast<std::size_t>(k)],
+                                      span_[static_cast<std::size_t>(k)]});
       }
     }
+
+    // Group the eval list into per-parent chains (DESIGN.md §16): genomes
+    // bred from the same previous-generation parent agree with its decoded
+    // stream up to their spans, so once the widest-span member has rebuilt
+    // the scratch, each later member's own span is valid against it.  The
+    // grouping depends only on population contents — never on thread
+    // count or scheduling — so the delta/full split is data-determined.
+    chain_order_.clear();
+    chain_bounds_.clear();
+    chain_taken_.assign(eval_list_.size(), 0);
+    for (std::size_t i = 0; i < eval_list_.size(); ++i) {
+      if (chain_taken_[i] != 0) continue;
+      const auto head = static_cast<std::ptrdiff_t>(chain_order_.size());
+      chain_bounds_.push_back(static_cast<int>(head));
+      chain_order_.push_back(static_cast<int>(i));
+      chain_taken_[i] = 1;
+      const int parent = eval_list_[i].parent;
+      if (parent < 0 || eval_list_[i].span <= 0) continue;
+      for (std::size_t j = i + 1; j < eval_list_.size(); ++j) {
+        if (chain_taken_[j] == 0 && eval_list_[j].parent == parent &&
+            eval_list_[j].span > 0) {
+          chain_order_.push_back(static_cast<int>(j));
+          chain_taken_[j] = 1;
+        }
+      }
+      std::stable_sort(chain_order_.begin() + head, chain_order_.end(),
+                       [this](int x, int y) {
+                         return eval_list_[static_cast<std::size_t>(x)].span >
+                                eval_list_[static_cast<std::size_t>(y)].span;
+                       });
+    }
+    chain_bounds_.push_back(static_cast<int>(chain_order_.size()));
 
     // Evaluate.  Only this phase runs on the pool: each individual's
     // metrics and cost are pure functions of its genome and the prepared
     // context, so the contents of `metrics_` and `costs_` do not depend
-    // on the interleaving.  Selection, crossover and mutation below stay
-    // on this thread and consume `rng_` in the serial order.
-    const int pending = static_cast<int>(eval_list_.size());
-    if (pool_ && pending > 1) {
-      pool_->parallel_for(pending, evaluate_chunk);
-    } else if (pending > 0) {
-      evaluate_chunk(0, pending, 0);
+    // on the interleaving.  Chains are the unit of distribution — a chain
+    // never splits across scratches.  Selection, crossover and mutation
+    // below stay on this thread and consume `rng_` in the serial order.
+    const int num_chains = static_cast<int>(chain_bounds_.size()) - 1;
+    if (pool_ && num_chains > 1) {
+      pool_->parallel_for(num_chains, evaluate_chains);
+    } else if (num_chains > 0) {
+      evaluate_chains(0, num_chains, 0);
     }
 
     // Publish results: new genotypes enter the memo (main thread, index
@@ -395,9 +450,12 @@ GaResult GaScheduler::optimize(std::span<const Task> tasks,
                                  costs_[static_cast<std::size_t>(b)];
                         });
       for (int e = 0; e < config_.elite; ++e) {
-        next.push_back(
-            population_[static_cast<std::size_t>(by_cost[
-                static_cast<std::size_t>(e)])]);
+        const int src = by_cost[static_cast<std::size_t>(e)];
+        // Unchanged copy: full agreement with its source (span = m); the
+        // memo resolves elites before the chain stage ever sees them.
+        parent_[next.size()] = src;
+        span_[next.size()] = m;
+        next.push_back(population_[static_cast<std::size_t>(src)]);
       }
     }
     while (static_cast<int>(next.size()) < n) {
@@ -405,13 +463,24 @@ GaResult GaScheduler::optimize(std::span<const Task> tasks,
           rng_.next_below(pool.size()))];
       const int b = pool[static_cast<std::size_t>(
           rng_.next_below(pool.size()))];
-      SolutionString child =
-          rng_.chance(config_.crossover_rate)
-              ? population_[static_cast<std::size_t>(a)].crossover(
-                    population_[static_cast<std::size_t>(b)], rng_)
-              : population_[static_cast<std::size_t>(a)];
-      child.mutate(config_.order_swap_rate, config_.bit_flip_rate, rng_);
-      if (constrained) child.constrain(available, rng_);
+      // Lineage for the delta path: the child agrees with parent `a` on
+      // every position before the min of its operators' dirty spans.
+      int span = m;
+      SolutionString child;
+      if (rng_.chance(config_.crossover_rate)) {
+        child = population_[static_cast<std::size_t>(a)].crossover(
+            population_[static_cast<std::size_t>(b)], rng_, &span);
+      } else {
+        child = population_[static_cast<std::size_t>(a)];
+      }
+      const int mutate_span =
+          child.mutate(config_.order_swap_rate, config_.bit_flip_rate, rng_);
+      span = std::min(span, mutate_span);
+      if (constrained) {
+        span = std::min(span, child.constrain(available, rng_));
+      }
+      parent_[next.size()] = a;
+      span_[next.size()] = span;
       next.push_back(std::move(child));
     }
     population_ = std::move(next);
@@ -425,10 +494,14 @@ GaResult GaScheduler::optimize(std::span<const Task> tasks,
   ++result.decodes;
   for (const DecodeScratch& scratch : scratches_) {
     result.table_reads += scratch.table_reads;
+    result.delta_evals += scratch.delta_evals;
+    result.full_evals += scratch.full_evals;
   }
   total_decodes_ += result.decodes;
   total_memo_hits_ += result.memo_hits;
   total_table_reads_ += result.table_reads;
+  total_delta_evals_ += result.delta_evals;
+  total_full_evals_ += result.full_evals;
   // Keep the best individual alive for the next invocation's warm start.
   population_.front() = result.best;
   return result;

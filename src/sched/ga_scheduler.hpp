@@ -97,8 +97,19 @@ struct GaResult {
   /// (cross-generation memo hits + within-generation duplicates).
   std::uint64_t memo_hits = 0;
   /// Prediction-table lookups this invocation — the lock-free reads that
-  /// replace per-task evaluation-cache lookups on the hot path.
+  /// replace per-task evaluation-cache lookups on the hot path.  Delta
+  /// evaluations only re-read their replayed suffix.
   std::uint64_t table_reads = 0;
+  /// Evaluations that restored a prefix checkpoint instead of rebuilding
+  /// from position 0 (DESIGN.md §16).  `delta_evals + full_evals ==
+  /// decodes` for non-empty task sets; both counts depend only on the
+  /// population contents, never on `eval_threads`.
+  std::uint64_t delta_evals = 0;
+  /// Evaluations that rebuilt the schedule from position 0 (chain heads,
+  /// generation-0 individuals and the winner's final decode).
+  std::uint64_t full_evals = 0;
+  /// Resolved evaluate-phase thread count that actually ran.
+  int eval_threads = 1;
   /// Per-generation convergence curve (observability; filled on every
   /// invocation — a handful of doubles, and gathering it consumes no
   /// randomness, so results are identical whether or not anyone looks).
@@ -136,6 +147,12 @@ class GaScheduler {
   }
   [[nodiscard]] std::uint64_t total_table_reads() const {
     return total_table_reads_;
+  }
+  [[nodiscard]] std::uint64_t total_delta_evals() const {
+    return total_delta_evals_;
+  }
+  [[nodiscard]] std::uint64_t total_full_evals() const {
+    return total_full_evals_;
   }
   /// Resolved evaluate-phase thread count (config value, with 0 expanded
   /// to the hardware concurrency).
@@ -181,12 +198,18 @@ class GaScheduler {
   std::uint64_t total_decodes_ = 0;
   std::uint64_t total_memo_hits_ = 0;
   std::uint64_t total_table_reads_ = 0;
+  std::uint64_t total_delta_evals_ = 0;
+  std::uint64_t total_full_evals_ = 0;
 
   // -- hot-path state, reused across invocations (DESIGN.md §11) ----------
-  /// One genome awaiting evaluation: its fingerprint and population index.
+  /// One genome awaiting evaluation: its fingerprint, population index and
+  /// lineage (previous-generation parent index + dirty span vs that
+  /// parent, recorded at breeding time for the delta path of §16).
   struct EvalItem {
     SolutionString::Fingerprint fp;
     int index = 0;
+    int parent = -1;
+    int span = 0;
   };
   /// A within-generation duplicate: copy `rep`'s result to `index`.
   struct Fanout {
@@ -202,6 +225,19 @@ class GaScheduler {
   std::vector<EvalItem> eval_list_;
   std::vector<Fanout> fanout_;
   std::vector<std::uint64_t> decode_slots_;
+  /// Lineage of the current population: index of each individual's primary
+  /// parent in the previous generation (-1 = none) and the dirty span of
+  /// the operator chain that bred it (min over crossover/mutate/constrain).
+  std::vector<int> parent_;
+  std::vector<int> span_;
+  /// Evaluation chains: `chain_order_` permutes eval-list indices so that
+  /// same-parent genomes are adjacent, widest span first;
+  /// `chain_bounds_[c]..chain_bounds_[c+1]` delimit chain c.  Each chain
+  /// runs sequentially in one scratch — the head rebuilds fully, every
+  /// later member repairs from its own span.
+  std::vector<int> chain_order_;
+  std::vector<int> chain_bounds_;
+  std::vector<char> chain_taken_;
 };
 
 }  // namespace gridlb::sched

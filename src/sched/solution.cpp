@@ -59,11 +59,14 @@ void SolutionString::repair_mask(int task, Rng& rng) {
   }
 }
 
-void SolutionString::constrain(NodeMask allowed, Rng& rng) {
+int SolutionString::constrain(NodeMask allowed, Rng& rng) {
   GRIDLB_REQUIRE(valid_mask(allowed, node_count_),
                  "allowed set must be a non-empty subset of the resource");
   const int width = ::gridlb::sched::node_count(allowed);
-  for (auto& mask : mapping_) {
+  std::vector<char> changed(mapping_.size(), 0);
+  for (std::size_t t = 0; t < mapping_.size(); ++t) {
+    auto& mask = mapping_[t];
+    const NodeMask before = mask;
     mask &= allowed;
     if (mask == 0) {
       // Pick a uniformly random allowed node.
@@ -73,18 +76,32 @@ void SolutionString::constrain(NodeMask allowed, Rng& rng) {
         if (pick-- == 0) mask = NodeMask{1} << node;
       });
     }
+    changed[t] = mask != before;
   }
   GRIDLB_ASSERT(valid());
+  return first_changed_position(changed);
 }
 
-SolutionString SolutionString::crossover(const SolutionString& mate,
-                                         Rng& rng) const {
+// The ordering part is untouched by the caller, so the dirty span is the
+// first position whose task's mask changed.
+int SolutionString::first_changed_position(
+    const std::vector<char>& changed_task) const {
+  const int m = task_count();
+  for (int p = 0; p < m; ++p) {
+    if (changed_task[static_cast<std::size_t>(task_at(p))]) return p;
+  }
+  return m;
+}
+
+SolutionString SolutionString::crossover(const SolutionString& mate, Rng& rng,
+                                         int* first_changed) const {
   GRIDLB_REQUIRE(task_count() == mate.task_count() &&
                      node_count_ == mate.node_count_,
                  "crossover parents must agree on task and node counts");
   const int m = task_count();
   SolutionString child;
   child.node_count_ = node_count_;
+  if (first_changed != nullptr) *first_changed = m;
   if (m == 0) return child;
 
   // --- ordering part: splice at a random cut, complete in mate order.
@@ -125,13 +142,31 @@ SolutionString SolutionString::crossover(const SolutionString& mate,
     child.mapping_[static_cast<std::size_t>(t)] = mask;
     child.repair_mask(t, rng);
   }
+  if (first_changed != nullptr) {
+    // Dirty span vs `*this`: first position whose (task, mask) pair
+    // differs.  When the tasks agree, comparing that task's mask in both
+    // genomes compares the pair.  Direct comparison (rather than deriving
+    // the span from the cuts) also covers repairs and the bit-split mask.
+    int span = m;
+    for (int p = 0; p < m; ++p) {
+      const int t = order_[static_cast<std::size_t>(p)];
+      if (t != child.order_[static_cast<std::size_t>(p)] ||
+          mapping_[static_cast<std::size_t>(t)] !=
+              child.mapping_[static_cast<std::size_t>(t)]) {
+        span = p;
+        break;
+      }
+    }
+    *first_changed = span;
+  }
   return child;
 }
 
-void SolutionString::mutate(double order_swap_rate, double bit_flip_rate,
-                            Rng& rng) {
+int SolutionString::mutate(double order_swap_rate, double bit_flip_rate,
+                           Rng& rng) {
   const int m = task_count();
-  if (m == 0) return;
+  if (m == 0) return 0;
+  int span = m;
   // Ordering part: a random transposition ("switching operator").
   if (m >= 2 && rng.chance(order_swap_rate)) {
     const auto a = static_cast<std::size_t>(
@@ -140,17 +175,30 @@ void SolutionString::mutate(double order_swap_rate, double bit_flip_rate,
         rng.next_below(static_cast<std::uint64_t>(m - 1)));
     if (b >= a) ++b;
     std::swap(order_[a], order_[b]);
+    span = static_cast<int>(a < b ? a : b);
   }
-  // Mapping part: independent random bit flips.
+  // Mapping part: independent random bit flips.  The flip loop stays in
+  // task-index order (the seeded draw sequence is pinned); the positional
+  // span is recovered afterwards from the per-task change flags.
+  std::vector<char> changed(static_cast<std::size_t>(m), 0);
+  bool any_mask_changed = false;
   for (int t = 0; t < m; ++t) {
     NodeMask& mask = mapping_[static_cast<std::size_t>(t)];
+    const NodeMask before = mask;
     for (int bit = 0; bit < node_count_; ++bit) {
       if (rng.chance(bit_flip_rate)) {
         mask ^= NodeMask{1} << bit;
       }
     }
     repair_mask(t, rng);
+    changed[static_cast<std::size_t>(t)] = mask != before;
+    any_mask_changed |= mask != before;
   }
+  if (any_mask_changed) {
+    const int mask_span = first_changed_position(changed);
+    if (mask_span < span) span = mask_span;
+  }
+  return span;
 }
 
 SolutionString::Fingerprint SolutionString::fingerprint() const {

@@ -1,0 +1,179 @@
+// Incremental (delta) evaluation properties (DESIGN.md §16).
+//
+// Three contracts keep the delta path honest:
+//   1. the dirty spans reported by the genetic operators equal the
+//      brute-force first-changed position of the genome diff,
+//   2. evaluate_from over chains of bred genomes is bit-for-bit the
+//      metrics of a full rebuild, and
+//   3. the GA's delta/full accounting partitions its decode count.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pace/paper_applications.hpp"
+#include "sched/ga_scheduler.hpp"
+#include "sched/schedule_builder.hpp"
+
+namespace gridlb::sched {
+namespace {
+
+/// Brute-force dirty span: first position whose (task, mask) pair differs
+/// between `before` and `after` — exactly what a left-to-right decode
+/// fold is sensitive to.
+int brute_force_span(const SolutionString& before,
+                     const SolutionString& after) {
+  const int m = before.task_count();
+  for (int p = 0; p < m; ++p) {
+    const int t = before.task_at(p);
+    if (t != after.task_at(p) || before.mask_of(t) != after.mask_of(t)) {
+      return p;
+    }
+  }
+  return m;
+}
+
+class OperatorSpans : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OperatorSpans, ReportedSpanMatchesBruteForceDiff) {
+  Rng rng(GetParam() * 6151 + 1);
+  for (int round = 0; round < 40; ++round) {
+    const int m = static_cast<int>(rng.next_below(30));  // includes empty
+    const int nodes = 1 + static_cast<int>(rng.next_below(16));
+    const auto parent = SolutionString::random(m, nodes, rng);
+    const auto mate = SolutionString::random(m, nodes, rng);
+
+    int cross_span = -1;
+    const SolutionString child = parent.crossover(mate, rng, &cross_span);
+    EXPECT_EQ(cross_span, brute_force_span(parent, child));
+
+    SolutionString mutated = parent;
+    const int mutate_span = mutated.mutate(0.5, 0.1, rng);
+    EXPECT_EQ(mutate_span, brute_force_span(parent, mutated));
+
+    SolutionString constrained = parent;
+    auto allowed = static_cast<NodeMask>(rng.next_u64()) & full_mask(nodes);
+    if (allowed == 0) allowed = 1;
+    const int constrain_span = constrained.constrain(allowed, rng);
+    EXPECT_EQ(constrain_span, brute_force_span(parent, constrained));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperatorSpans,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+// Random chains of bred genomes: each step's evaluate_from (with the
+// operator-reported span, min-combined over the chain of operators) must
+// equal a from-scratch rebuild bit-for-bit.  EXPECT_EQ on doubles is
+// deliberate — identical arithmetic, not just close.
+class DeltaEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeltaEquivalence, ChainedDeltaEvaluationsMatchFullRebuilds) {
+  pace::EvaluationEngine engine;
+  pace::CachedEvaluator evaluator(engine);
+  const auto sgi = pace::ResourceModel::of(pace::HardwareType::kSgiOrigin2000);
+  const int nodes = 8;
+  ScheduleBuilder builder(evaluator, sgi, nodes);
+  const auto catalogue = pace::paper_catalogue();
+
+  Rng rng(GetParam() * 7907 + 3);
+  const int m = 1 + static_cast<int>(rng.next_below(40));
+  std::vector<Task> tasks;
+  for (int i = 0; i < m; ++i) {
+    Task task;
+    task.id = TaskId(static_cast<std::uint64_t>(i));
+    task.app = catalogue.all()[static_cast<std::size_t>(
+        rng.next_below(catalogue.size()))];
+    task.deadline = rng.uniform(0.0, 400.0);
+    tasks.push_back(std::move(task));
+  }
+  std::vector<SimTime> free(static_cast<std::size_t>(nodes));
+  for (auto& f : free) f = rng.uniform(0.0, 60.0);
+
+  DecodeContext context;
+  builder.prepare(context, tasks, free, 5.0, full_mask(nodes));
+
+  DecodeScratch delta_scratch;
+  DecodeScratch full_scratch;
+  auto solution = SolutionString::random(m, nodes, rng);
+  auto mate = SolutionString::random(m, nodes, rng);
+  // Seed the delta scratch's recorded stream.
+  (void)builder.evaluate(context, solution, delta_scratch);
+
+  for (int step = 0; step < 30; ++step) {
+    // Breed the next genome from the current one the way the GA does,
+    // min-combining the operators' spans.
+    int span = m;
+    SolutionString next = solution;
+    if (rng.chance(0.5)) {
+      next = solution.crossover(mate, rng, &span);
+    }
+    span = std::min(span, next.mutate(0.4, 0.05, rng));
+    if (rng.chance(0.25)) {
+      auto allowed = static_cast<NodeMask>(rng.next_u64()) & full_mask(nodes);
+      if (allowed == 0) allowed = 1;
+      span = std::min(span, next.constrain(allowed, rng));
+    }
+
+    const ScheduleMetrics delta =
+        builder.evaluate_from(context, next, delta_scratch, span);
+    // decode() always rebuilds from scratch — the bit-exact reference.
+    const DecodedSchedule full = builder.decode(context, next, full_scratch);
+
+    EXPECT_EQ(delta.completion, full.completion);
+    EXPECT_EQ(delta.makespan, full.makespan);
+    EXPECT_EQ(delta.total_idle, full.total_idle);
+    EXPECT_EQ(delta.weighted_idle, full.weighted_idle);
+    EXPECT_EQ(delta.contract_penalty, full.contract_penalty);
+    EXPECT_EQ(delta.mean_completion, full.mean_completion);
+    EXPECT_EQ(delta.deadline_misses, full.deadline_misses);
+
+    solution = std::move(next);
+    if (step % 7 == 3) mate = SolutionString::random(m, nodes, rng);
+  }
+  // The chain must actually have exercised the delta path.
+  EXPECT_GT(delta_scratch.delta_evals, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaEquivalence,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+TEST(DeltaAccounting, GaSplitsDecodesIntoDeltaAndFull) {
+  pace::EvaluationEngine engine;
+  pace::CachedEvaluator evaluator(engine);
+  const auto sgi = pace::ResourceModel::of(pace::HardwareType::kSgiOrigin2000);
+  ScheduleBuilder builder(evaluator, sgi, 16);
+  const auto catalogue = pace::paper_catalogue();
+
+  Rng rng(2003);
+  std::vector<Task> tasks;
+  for (int i = 0; i < 24; ++i) {
+    Task task;
+    task.id = TaskId(static_cast<std::uint64_t>(i) + 1);
+    task.app = catalogue.all()[static_cast<std::size_t>(
+        rng.next_below(catalogue.size()))];
+    const auto domain = task.app->deadline_domain();
+    task.deadline = rng.uniform(domain.lo, domain.hi);
+    tasks.push_back(std::move(task));
+  }
+  const std::vector<SimTime> idle(16, 0.0);
+
+  GaConfig config;
+  config.generations = 25;
+  config.eval_threads = 1;
+  GaScheduler ga(builder, config, 11);
+  const GaResult result = ga.optimize(tasks, idle, 0.0);
+
+  // Every evaluation is exactly one of delta or full, and evolved
+  // generations (bred from recorded lineage) must engage the delta path.
+  EXPECT_EQ(result.delta_evals + result.full_evals, result.decodes);
+  EXPECT_GT(result.delta_evals, 0u);
+  EXPECT_GT(result.full_evals, 0u);
+  EXPECT_EQ(ga.total_delta_evals() + ga.total_full_evals(),
+            ga.total_decodes());
+}
+
+}  // namespace
+}  // namespace gridlb::sched

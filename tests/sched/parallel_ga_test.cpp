@@ -47,6 +47,11 @@ struct ParallelGaFixture : ::testing::Test {
     EXPECT_EQ(serial.decodes, parallel.decodes);
     EXPECT_EQ(serial.memo_hits, parallel.memo_hits);
     EXPECT_EQ(serial.table_reads, parallel.table_reads);
+    // The delta/full split is data-determined (per-parent chains), so it
+    // too must not move with the thread count.
+    EXPECT_EQ(serial.delta_evals, parallel.delta_evals);
+    EXPECT_EQ(serial.full_evals, parallel.full_evals);
+    EXPECT_EQ(serial.delta_evals + serial.full_evals, serial.decodes);
     ASSERT_EQ(serial.schedule.placements.size(),
               parallel.schedule.placements.size());
     for (std::size_t i = 0; i < serial.schedule.placements.size(); ++i) {
@@ -84,6 +89,17 @@ TEST_F(ParallelGaFixture, ThreadCountResolution) {
   config.eval_threads = 1000;  // more threads than individuals: capped
   EXPECT_LE(GaScheduler(builder, config, 1).eval_threads(),
             config.population_size);
+}
+
+TEST_F(ParallelGaFixture, ResultRecordsEffectiveThreadCount) {
+  const auto tasks = make_tasks(6);
+  GaConfig config;
+  config.eval_threads = 3;
+  GaScheduler three(builder, config, 1);
+  EXPECT_EQ(three.optimize(tasks, idle, 0.0).eval_threads, 3);
+  config.eval_threads = 1;
+  GaScheduler one(builder, config, 1);
+  EXPECT_EQ(one.optimize(tasks, idle, 0.0).eval_threads, 1);
 }
 
 TEST_F(ParallelGaFixture, FourThreadsMatchSerialExactly) {

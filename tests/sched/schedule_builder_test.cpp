@@ -321,6 +321,23 @@ TEST_P(EvaluateEquivalence, MetricsOnlyEvaluateMatchesFullDecode) {
     EXPECT_EQ(metrics.mean_completion, full.mean_completion);
     EXPECT_EQ(metrics.deadline_misses, full.deadline_misses);
 
+    // evaluate_from at every possible span start: the genome trivially
+    // agrees with its own recorded stream, so every span must reproduce
+    // the full metrics bit-for-bit (span 0 = full rebuild, span m =
+    // answered from the cached metrics, everything between = checkpoint
+    // restore + suffix replay).
+    for (int s = 0; s <= m; ++s) {
+      const ScheduleMetrics delta =
+          builder.evaluate_from(context, solution, scratch, s);
+      EXPECT_EQ(delta.completion, full.completion);
+      EXPECT_EQ(delta.makespan, full.makespan);
+      EXPECT_EQ(delta.total_idle, full.total_idle);
+      EXPECT_EQ(delta.weighted_idle, full.weighted_idle);
+      EXPECT_EQ(delta.contract_penalty, full.contract_penalty);
+      EXPECT_EQ(delta.mean_completion, full.mean_completion);
+      EXPECT_EQ(delta.deadline_misses, full.deadline_misses);
+    }
+
     // And the context-based full decode agrees placement-by-placement
     // with the self-contained convenience overload.
     const auto via_context = builder.decode(context, solution, scratch);
