@@ -56,6 +56,7 @@ std::vector<TaskId> Agent::crash() {
   }
   act_ = CapabilityTable{};
   pending_results_.clear();
+  queue_copies_.clear();  // the drained pending tasks go back via the portal
   obs::emit({.at = engine_.now(),
              .kind = obs::EventKind::kAgentCrashed,
              .resource = config_.id.value()});
@@ -183,13 +184,7 @@ void Agent::receive_request(Request request, bool final_dispatch) {
     // Routing budget exhausted (only reachable with transitive routing
     // gone degenerate): execute here rather than bounce forever.
     if (config_.strict_failure) {
-      ++stats_.dropped;
-      if (auto* reg = obs::registry()) reg->counter("flow.dropped").add(1);
-      obs::emit({.at = engine_.now(),
-                 .kind = obs::EventKind::kRequestRejected,
-                 .extra = static_cast<std::uint32_t>(hops),
-                 .task = request.task.value(),
-                 .resource = config_.id.value()});
+      note_strict_drop(request, hops);
       return;
     }
     ++stats_.fallback_dispatches;
@@ -292,13 +287,7 @@ void Agent::receive_request(Request request, bool final_dispatch) {
   // 4. Head of the hierarchy (or dead end): discovery terminated
   // unsuccessfully in the paper's sense.
   if (config_.strict_failure) {
-    ++stats_.dropped;
-    if (auto* reg = obs::registry()) reg->counter("flow.dropped").add(1);
-    obs::emit({.at = engine_.now(),
-               .kind = obs::EventKind::kRequestRejected,
-               .extra = static_cast<std::uint32_t>(hops),
-               .task = request.task.value(),
-               .resource = config_.id.value()});
+    note_strict_drop(request, hops);
     log::warn("agent ", config_.name, " t=", engine_.now(), " task ",
               request.task.str(), " dropped: no grid resource matches");
     return;
@@ -347,6 +336,25 @@ void Agent::receive_request(Request request, bool final_dispatch) {
   }
 }
 
+void Agent::note_strict_drop(const Request& request, std::uint64_t hops) {
+  ++stats_.dropped;
+  if (auto* reg = obs::registry()) reg->counter("flow.dropped").add(1);
+  obs::emit({.at = engine_.now(),
+             .kind = obs::EventKind::kRequestRejected,
+             .extra = static_cast<std::uint32_t>(hops),
+             .task = request.task.value(),
+             .resource = config_.id.value()});
+  if (drop_sink_) {
+    // Deferred by one network latency as a milestone: the drop can flip
+    // the drive's stop predicate exactly like a completion, and the delay
+    // is shard-count independent (latency == the coordinator lookahead),
+    // so every shard count halts on the same event.
+    const TaskId task = request.task;
+    engine_.schedule_milestone_at(engine_.now() + network_.latency(),
+                                  [this, task]() { drop_sink_(task); });
+  }
+}
+
 void Agent::dispatch_local(Request request) {
   ++stats_.dispatched_local;
   const auto hops = static_cast<std::uint32_t>(request.visited.size());
@@ -367,6 +375,7 @@ void Agent::dispatch_local(Request request) {
     pending_results_.push_back(
         PendingResult{request.task, *request.origin, request.email});
   }
+  if (config_.migration.enabled) queue_copies_.push_back(request);
   sched::Task task;
   task.id = request.task;
   task.app = app;
@@ -378,6 +387,12 @@ void Agent::dispatch_local(Request request) {
 }
 
 void Agent::on_task_completed(const sched::CompletionRecord& record) {
+  if (!queue_copies_.empty()) {
+    const auto copy = std::find_if(
+        queue_copies_.begin(), queue_copies_.end(),
+        [&record](const Request& r) { return r.task == record.task; });
+    if (copy != queue_copies_.end()) queue_copies_.erase(copy);
+  }
   const auto it = std::find_if(
       pending_results_.begin(), pending_results_.end(),
       [&record](const PendingResult& pending) {
@@ -530,6 +545,72 @@ void Agent::handle_advertisement(const sim::Message& message) {
              .a = refresh_age});
   act_.upsert(described, service_info_from_xml(message.payload),
               engine_.now(), *sender);
+  maybe_migrate(described);
+}
+
+void Agent::maybe_migrate(AgentId described) {
+  if (!config_.migration.enabled || queue_copies_.empty()) return;
+  // Migrations are final dispatches, so only a direct neighbour — one we
+  // can deliver to ourselves — qualifies as a target.
+  Agent* const target = neighbour_by_id(described);
+  if (target == nullptr) return;
+  const SimTime now = engine_.now();
+  const double own_backlog = std::max(0.0, scheduler_.freetime() - now);
+  if (own_backlog <= config_.migration.overload_threshold) return;
+  const CapabilityTable::Entry* entry = act_.find(described);
+  if (entry == nullptr) return;
+  if (std::max(0.0, entry->info.freetime - now) >=
+      config_.migration.underload_threshold) {
+    return;
+  }
+
+  // Newest queued tasks first: they are the deepest in the backlog and
+  // gain the most from re-homing.
+  int moved = 0;
+  for (std::size_t i = queue_copies_.size();
+       i-- > 0 && moved < config_.migration.max_batch;) {
+    Request request = queue_copies_[i];
+    if (already_visited(request, described)) continue;
+    if (request.visited.size() >=
+        static_cast<std::size_t>(config_.max_hops)) {
+      continue;
+    }
+    if (!estimate_completion(entry->info, request)) continue;
+    if (!scheduler_.cancel(request.task)) {
+      // Already started (or gone): the retained copy is stale.
+      queue_copies_.erase(queue_copies_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      continue;
+    }
+    // The queue slot is gone; reply routing moves with the request (its
+    // origin/email ride the document and the recipient re-records them).
+    if (!already_visited(request, config_.id)) {
+      request.visited.push_back(config_.id);
+    }
+    const auto pending = std::find_if(
+        pending_results_.begin(), pending_results_.end(),
+        [&request](const PendingResult& p) { return p.task == request.task; });
+    if (pending != pending_results_.end()) pending_results_.erase(pending);
+    ++stats_.migrations;
+    if (auto* reg = obs::registry()) reg->counter("flow.migrated").add(1);
+    obs::emit({.at = now,
+               .kind = obs::EventKind::kTaskMigrated,
+               .extra = static_cast<std::uint32_t>(request.visited.size()),
+               .task = request.task.value(),
+               .resource = described.value(),
+               .a = own_backlog,
+               .b = std::max(0.0, entry->info.freetime - now)});
+    log::debug("agent ", config_.name, " t=", now, " task ",
+               request.task.str(), " migrated to ", target->name(),
+               " (backlog ", own_backlog, "s)");
+    if (const auto occupancy = expected_occupancy(entry->info, request)) {
+      act_.advance_freetime(described, now, *occupancy);
+    }
+    queue_copies_.erase(queue_copies_.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+    forward(std::move(request), target, true);
+    ++moved;
+  }
 }
 
 }  // namespace gridlb::agents

@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -58,6 +59,26 @@ enum class AdvertisementScope {
   /// route requests to non-neighbour resources through the neighbour that
   /// advertised them — wider reach for more advertisement traffic.
   kTransitive,
+};
+
+/// Threshold-triggered migration of *queued* (never running) tasks
+/// (ROADMAP item 3, DESIGN.md §17).  When an advertisement shows a direct
+/// neighbour far idler than the own backlog, up to `max_batch` still-
+/// pending tasks are cancelled on the local scheduler and re-forwarded to
+/// that neighbour as final dispatches.  Migration documents are ordinary
+/// request documents riding the ReliableLink, so they survive message
+/// drops (retries) and churn (crash strands them back to the portal).
+struct MigrationConfig {
+  bool enabled = false;
+  /// Own backlog (scheduler freetime − now, seconds) above which the agent
+  /// starts looking for a migration target.  90 s is tuned on the
+  /// ablation_migration sweep: 120 leaves hot queues standing, 60 thrashes
+  /// (re-homed tasks bounce between agents and balance degrades).
+  double overload_threshold = 90.0;
+  /// Advertised neighbour backlog below which it qualifies as a target.
+  double underload_threshold = 30.0;
+  /// Queued tasks re-homed per qualifying advertisement, newest first.
+  int max_batch = 4;
 };
 
 struct AgentConfig {
@@ -88,6 +109,9 @@ struct AgentConfig {
   /// discovery (a neighbour that stopped advertising is suspected dead).
   /// <= 0 trusts every entry forever — the pre-fault behaviour.
   double act_expiry = 0.0;
+  /// Queue migration (off by default: the protocol is byte-identical to
+  /// the non-migrating one when disabled).
+  MigrationConfig migration;
 };
 
 /// Counters for the discovery/advertisement behaviour of one agent.
@@ -109,6 +133,8 @@ struct AgentStats {
   std::uint64_t reroutes = 0;            ///< forwards rerouted after retry
                                          ///  exhaustion (neighbour suspected
                                          ///  dead)
+  std::uint64_t migrations = 0;          ///< queued tasks re-homed to an
+                                         ///  idler neighbour
 };
 
 class Agent {
@@ -143,6 +169,14 @@ class Agent {
 
   /// Entry point for requests (from the portal, or locally generated).
   void receive_request(Request request, bool final_dispatch = false);
+
+  /// Observer for strict-failure drops.  The notification is deferred by
+  /// one network latency as a *milestone* event, so the drive goal can
+  /// count it like a completion and stop on the same event at any shard
+  /// count (DESIGN.md §13).
+  void set_drop_sink(std::function<void(TaskId)> sink) {
+    drop_sink_ = std::move(sink);
+  }
 
   /// Completion notification from the local scheduler; posts the
   /// execution result back to the request's originating endpoint ("the
@@ -187,6 +221,11 @@ class Agent {
   void push_to_neighbours();
   void dispatch_local(Request request);
   void forward(Request request, Agent* to, bool final_dispatch);
+  void note_strict_drop(const Request& request, std::uint64_t hops);
+  /// Migration trigger, run after each advertisement upsert: when this
+  /// agent is overloaded and the freshly described *direct neighbour* is
+  /// underloaded, re-home up to migration.max_batch still-queued tasks.
+  void maybe_migrate(AgentId described);
   [[nodiscard]] std::optional<AgentId> neighbour_for_endpoint(
       sim::EndpointId endpoint) const;
   [[nodiscard]] Agent* neighbour_by_id(AgentId id) const;
@@ -214,6 +253,11 @@ class Agent {
     std::string email;
   };
   std::vector<PendingResult> pending_results_;
+  /// Retained copies of locally queued requests (migration only): filled
+  /// on dispatch, erased on completion/cancel/crash.  A copy whose task
+  /// already started is detected lazily by LocalScheduler::cancel failing.
+  std::vector<Request> queue_copies_;
+  std::function<void(TaskId)> drop_sink_;
 };
 
 }  // namespace gridlb::agents

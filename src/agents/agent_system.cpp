@@ -167,9 +167,13 @@ void AgentSystem::build(const pace::ApplicationCatalogue& catalogue,
           static_cast<double>(config_.fault_tolerance.act_expiry_periods) *
           config_.pull_period;
     }
+    agent_config.migration = config_.migration;
     agents_.push_back(std::make_unique<Agent>(
         agent_engine, *network_, *evaluator_, catalogue,
         std::move(agent_config), *schedulers_.back()));
+    agents_.back()->set_drop_sink([this](TaskId) {
+      dropped_count_.fetch_add(1, std::memory_order_relaxed);
+    });
   }
   GRIDLB_REQUIRE(heads == 1, "the hierarchy must have exactly one head");
 

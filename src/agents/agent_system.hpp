@@ -87,6 +87,8 @@ struct SystemConfig {
   sim::FaultPlan fault;
   FaultToleranceConfig fault_tolerance;
   AgentChurnConfig agent_churn;
+  /// Threshold-triggered queue migration, applied to every agent.
+  MigrationConfig migration;
 };
 
 class AgentSystem {
@@ -136,6 +138,13 @@ class AgentSystem {
   /// themselves are buffered per shard until finalize_completions().
   [[nodiscard]] std::uint64_t completed_count() const {
     return completed_count_.load(std::memory_order_relaxed);
+  }
+  /// Strict-failure drops notified so far (always 0 outside strict mode).
+  /// Like completed_count(), safe to read from the drive coordinator: the
+  /// notifications are milestone events, so completed + dropped can form
+  /// the drive goal at any shard count.
+  [[nodiscard]] std::uint64_t dropped_count() const {
+    return dropped_count_.load(std::memory_order_relaxed);
   }
   /// Flushes shard-buffered completion records into the collector in
   /// global execution order (their finalized lineage ranks).  Call once,
@@ -187,6 +196,7 @@ class AgentSystem {
   std::vector<std::size_t> shard_assignment_;
   std::vector<std::vector<BufferedCompletion>> completion_buffers_;
   std::atomic<std::uint64_t> completed_count_{0};
+  std::atomic<std::uint64_t> dropped_count_{0};
 };
 
 }  // namespace gridlb::agents

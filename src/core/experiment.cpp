@@ -40,20 +40,15 @@ std::vector<std::string> resource_labels(const ExperimentConfig& config) {
 }
 
 /// Resolves `system.sim_shards` to a concrete shard count: 0 means one per
-/// hardware thread, anything is clamped to the agent count, and strict
-/// failure mode stays on the single-queue path (its drops flip the stop
-/// predicate outside the milestone machinery the sharded driver relies
-/// on).
+/// hardware thread, anything is clamped to the agent count.  Strict
+/// failure mode shards like everything else: its drops are notified
+/// through milestone events (Agent::set_drop_sink), so the coordinator's
+/// exact-stop decision counts them exactly like completions.
 std::size_t resolve_sim_shards(const ExperimentConfig& config) {
   int shards = config.system.sim_shards;
   if (shards <= 0) shards = ThreadPool::hardware_threads();
   shards = std::min(shards, static_cast<int>(config.system.resources.size()));
   shards = std::max(shards, 1);
-  if (config.system.strict_failure && shards > 1) {
-    log::warn("strict failure mode forces sim_shards=1 (requested ", shards,
-              ")");
-    shards = 1;
-  }
   return static_cast<std::size_t>(shards);
 }
 
@@ -78,6 +73,12 @@ void populate_registry(obs::MetricsRegistry& registry,
   registry.counter("portal.requests_submitted").add(result.requests_submitted);
   registry.counter("sched.tasks_completed").add(result.tasks_completed);
   registry.counter("agents.requests_dropped").add(result.tasks_dropped);
+  registry.counter("sched.tasks_unfinished").add(result.tasks_unfinished);
+  registry.counter("agents.migrations").add(result.migrations);
+  registry.gauge("sched.shed_rate").set(result.shed_rate);
+  registry.gauge("sched.latency_p50").set(result.latency_p50);
+  registry.gauge("sched.latency_p90").set(result.latency_p90);
+  registry.gauge("sched.latency_p99").set(result.latency_p99);
   registry.counter("sim.events").add(result.sim_events);
   registry.counter("sim.events_swept").add(result.events_swept);
   registry.gauge("sim.shards").set(static_cast<double>(result.sim_shards));
@@ -129,6 +130,30 @@ void populate_registry(obs::MetricsRegistry& registry,
   // metrics JSON can tell "nothing dropped" from "tracing was off".
   registry.counter("obs.trace_events").add(result.trace_events);
   registry.counter("obs.dropped_events").add(result.trace_dropped);
+}
+
+/// Derived flow statistics shared by the closed- and open-loop regimes:
+/// standing backlog, shed rate, and the completion-latency percentiles.
+/// All guarded against zero completions/submissions — a fully-shedding
+/// overload window reports zeros, never NaN/inf.
+void fill_flow_stats(ExperimentResult& result) {
+  const std::uint64_t settled = result.tasks_completed + result.tasks_dropped;
+  GRIDLB_ASSERT(settled <= result.requests_submitted);
+  result.tasks_unfinished = result.requests_submitted - settled;
+  result.shed_rate =
+      result.requests_submitted > 0
+          ? static_cast<double>(result.requests_submitted -
+                                result.tasks_completed) /
+                static_cast<double>(result.requests_submitted)
+          : 0.0;
+  std::vector<double> latencies;
+  latencies.reserve(result.completions.size());
+  for (const auto& record : result.completions) {
+    latencies.push_back(record.end - record.submitted);
+  }
+  result.latency_p50 = metrics::percentile(latencies, 50.0);
+  result.latency_p90 = metrics::percentile(latencies, 90.0);
+  result.latency_p99 = metrics::percentile(std::move(latencies), 99.0);
 }
 
 /// Sum of processing nodes across the grid, for the utilisation plot's
@@ -340,8 +365,17 @@ ExperimentResult run_agent_impl(const ExperimentConfig& config) {
 
   const std::vector<RequestSpec> workload = generate_workload(
       config.workload, catalogue, static_cast<int>(system.size()));
+  const SimTime duration = config.duration;
+  const bool open_loop = duration > 0.0;
+  std::uint64_t scheduled = 0;
   for (std::size_t idx = 0; idx < workload.size(); ++idx) {
     const RequestSpec& spec = workload[idx];
+    if (open_loop && spec.at >= duration) {
+      // Submission times are non-decreasing, so everything from here on is
+      // past the cutoff and would never execute.
+      break;
+    }
+    ++scheduled;
     if (!hashed) {
       portal_engine.schedule_at(spec.at, [&, spec]() {
         portal.submit(system.agent(static_cast<std::size_t>(spec.agent_index)),
@@ -374,7 +408,7 @@ ExperimentResult run_agent_impl(const ExperimentConfig& config) {
     });
   }
 
-  const auto expected = static_cast<std::uint64_t>(workload.size());
+  const std::uint64_t expected = scheduled;
 
   // Continuous profiling: sampler ticks live on the portal's shard so the
   // series is written by exactly one event context at every shard count.
@@ -394,41 +428,31 @@ ExperimentResult run_agent_impl(const ExperimentConfig& config) {
         [&system]() { return system.completed_count(); });
   }
 
-  // Drain: run until every submitted task completed or was dropped.  The
-  // periodic advertisement pulls keep the event queue non-empty forever,
-  // so completion — not queue exhaustion — is the stop condition.
-  if (!sharded.sharded()) {
-    sim::Engine& engine = sharded.shard(0);
-    const auto dropped_so_far = [&system]() {
-      std::uint64_t dropped = 0;
-      for (std::size_t i = 0; i < system.size(); ++i) {
-        dropped += system.agent(i).stats().dropped;
-      }
-      return dropped;
-    };
-    while (collector.completed_tasks() + dropped_so_far() < expected) {
-      GRIDLB_REQUIRE(engine.step(), "event queue drained with tasks missing");
-      GRIDLB_REQUIRE(engine.now() <= config.horizon_limit,
-                     "experiment exceeded the horizon limit");
-    }
-  } else {
-    // Non-strict mode never drops, so completions alone decide the stop
-    // (strict mode was forced onto the single-queue path above).
-    sim::DriveGoal goal;
-    goal.done = [&system, expected]() {
-      return system.completed_count() >= expected;
-    };
-    goal.remaining = [&system, expected]() {
-      const std::uint64_t completed = system.completed_count();
-      return completed >= expected ? std::uint64_t{0} : expected - completed;
-    };
-    sharded.drive(goal, config.horizon_limit);
-    system.finalize_completions();
-  }
+  // Drive: closed-loop until every submitted task completed or was dropped
+  // (the periodic advertisement pulls keep the event queue non-empty
+  // forever, so settlement — not queue exhaustion — is the stop
+  // condition), or open-loop until the duration cutoff, whichever comes
+  // first.  Drops count through the milestone-notified dropped_count(), so
+  // one goal covers strict and non-strict mode at any shard count.
+  sim::DriveGoal goal;
+  goal.done = [&system, expected]() {
+    return system.completed_count() + system.dropped_count() >= expected;
+  };
+  goal.remaining = [&system, expected]() {
+    const std::uint64_t settled =
+        system.completed_count() + system.dropped_count();
+    return settled >= expected ? std::uint64_t{0} : expected - settled;
+  };
+  if (open_loop) goal.until = duration;
+  sharded.drive(goal, config.horizon_limit);
+  system.finalize_completions();
 
   ExperimentResult result;
   result.name = config.name;
-  result.report = collector.report();
+  // An open-loop report is evaluated over the truncated window ending at
+  // the cutoff, not at the last completion inside it.
+  result.report = collector.report(
+      open_loop ? std::optional<SimTime>(duration) : std::nullopt);
   result.completions = collector.records();
   result.requests_submitted = expected;
   result.tasks_completed = collector.completed_tasks();
@@ -450,6 +474,7 @@ ExperimentResult run_agent_impl(const ExperimentConfig& config) {
     const agents::Agent& agent = system.agent(i);
     result.agent_stats.push_back(agent.stats());
     result.tasks_dropped += agent.stats().dropped;
+    result.migrations += agent.stats().migrations;
     hops += agent.stats().hops_accumulated;
     executed += agent.stats().dispatched_local;
     result.ga_decodes += agent.scheduler().ga_decodes();
@@ -482,6 +507,7 @@ ExperimentResult run_agent_impl(const ExperimentConfig& config) {
     result.agent_restarts += system.agent(i).stats().restarts;
   }
   result.placement_decisions = placement_decisions;
+  fill_flow_stats(result);
   obs_scope.finish(result, system);
   return result;
 }
@@ -548,13 +574,18 @@ ExperimentResult run_central_impl(const ExperimentConfig& config) {
 
   const std::vector<RequestSpec> workload = generate_workload(
       config.workload, catalogue, static_cast<int>(system.size()));
+  const SimTime duration = config.duration;
+  const bool open_loop = duration > 0.0;
+  std::uint64_t scheduled = 0;
   for (const RequestSpec& spec : workload) {
+    if (open_loop && spec.at >= duration) break;  // time-sorted suffix
+    ++scheduled;
     engine.schedule_at(spec.at, [&, spec]() {
       dispatch(spec.app_name, engine.now() + spec.deadline_offset);
     });
   }
 
-  const auto expected = static_cast<std::uint64_t>(workload.size());
+  const std::uint64_t expected = scheduled;
 
   std::shared_ptr<std::uint64_t> sampler_ticks;
   if (obs::Sampler* sampler = obs_scope.sampler()) {
@@ -571,6 +602,7 @@ ExperimentResult run_central_impl(const ExperimentConfig& config) {
   }
 
   while (collector.completed_tasks() < expected) {
+    if (open_loop && engine.next_event_time() >= duration) break;
     GRIDLB_REQUIRE(engine.step(), "event queue drained with tasks missing");
     GRIDLB_REQUIRE(engine.now() <= config.horizon_limit,
                    "experiment exceeded the horizon limit");
@@ -578,7 +610,8 @@ ExperimentResult run_central_impl(const ExperimentConfig& config) {
 
   ExperimentResult result;
   result.name = config.name;
-  result.report = collector.report();
+  result.report = collector.report(
+      open_loop ? std::optional<SimTime>(duration) : std::nullopt);
   result.completions = collector.records();
   result.requests_submitted = expected;
   result.tasks_completed = collector.completed_tasks();
@@ -601,6 +634,7 @@ ExperimentResult run_central_impl(const ExperimentConfig& config) {
     result.table_reads += system.agent(i).scheduler().prediction_table_reads();
   }
   result.cache.hits += result.table_reads;
+  fill_flow_stats(result);
   obs_scope.finish(result, system);
   return result;
 }

@@ -62,6 +62,16 @@ struct ExperimentConfig {
   double placement_load_tau = 60.0;
   /// Hash placement only: placement-map generation seed.
   std::uint64_t placement_seed = 0x6c6f6164;
+  /// Open-loop campaign cutoff: > 0 runs exactly the events with time <
+  /// `duration` and then stops, completed or not — the sustained-rate
+  /// regime whose success criteria are the steady-state latency
+  /// percentiles and the shed rate instead of batch completion.  Workload
+  /// entries at or after the cutoff are never submitted.  0 (the default)
+  /// keeps the paper's closed loop: run until every submitted task
+  /// completed or was dropped.  Either way the executed event set is a
+  /// property of the global timeline, so results stay bit-for-bit
+  /// identical at any sim_shards.
+  SimTime duration = 0.0;
   /// Abort (with an assertion) if the grid has not drained by this time.
   SimTime horizon_limit = 48.0 * 3600.0;
   /// Observability: tracing/metrics instruments and their output files.
@@ -84,6 +94,20 @@ struct ExperimentResult {
   std::uint64_t requests_submitted = 0;
   std::uint64_t tasks_completed = 0;
   std::uint64_t tasks_dropped = 0;     ///< strict-mode discovery failures
+  /// Submitted but neither completed nor dropped when the run stopped —
+  /// the standing backlog at an open-loop cutoff (always 0 closed-loop).
+  std::uint64_t tasks_unfinished = 0;
+  /// Offered load not completed inside the window:
+  /// (submitted − completed) / submitted.  Closed-loop this equals the
+  /// strict drop rate; open-loop it also counts the standing backlog.
+  double shed_rate = 0.0;
+  /// Steady-state sojourn time (completion − submission) percentiles over
+  /// every completed task, nearest-rank; 0 when nothing completed.
+  double latency_p50 = 0.0;
+  double latency_p90 = 0.0;
+  double latency_p99 = 0.0;
+  /// Queued tasks re-homed to an idler neighbour (DESIGN.md §17).
+  std::uint64_t migrations = 0;
   double mean_hops = 0.0;              ///< forwards per executed request
   std::uint64_t network_messages = 0;
   std::uint64_t network_bytes = 0;

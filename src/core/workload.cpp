@@ -1,26 +1,212 @@
 #include "core/workload.hpp"
 
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
 #include "common/assert.hpp"
 #include "common/rng.hpp"
 
 namespace gridlb::core {
 
+namespace {
+
+/// Timing draws come from a stream decoupled from the per-request draws:
+/// xoring the seed with a fixed tag ("arrival" in ASCII) gives a child
+/// seed without consuming anything from the main stream, so kUniform — the
+/// bit-identity reference — touches no randomness at all for timing.
+constexpr std::uint64_t kArrivalSeedTag = 0x61727269'76616c00ULL;
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::string format_number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+/// Submission times for every process except kTrace; always non-decreasing.
+std::vector<SimTime> arrival_times(const WorkloadConfig& config) {
+  const auto count = static_cast<std::size_t>(config.count);
+  std::vector<SimTime> at;
+  at.reserve(count);
+  switch (config.arrival) {
+    case ArrivalProcess::kUniform:
+      for (std::size_t i = 0; i < count; ++i) {
+        at.push_back(config.start +
+                     static_cast<double>(i) * config.interval);
+      }
+      break;
+    case ArrivalProcess::kPoisson: {
+      Rng rng(config.seed ^ kArrivalSeedTag);
+      double t = config.start;
+      for (std::size_t i = 0; i < count; ++i) {
+        // Inverse-CDF exponential; 1 − u avoids log(0).
+        t += -config.interval * std::log(1.0 - rng.next_double());
+        at.push_back(t);
+      }
+      break;
+    }
+    case ArrivalProcess::kOnOff: {
+      // Deterministic square wave anchored at `start`: arrivals during ON
+      // phases at duty-scaled spacing, silence during OFF phases.  The
+      // cycle average recovers the nominal 1/interval rate.
+      const double cycle = config.burst_on + config.burst_off;
+      const double spacing = config.interval * config.burst_on / cycle;
+      double t = 0.0;  // relative to start
+      for (std::size_t i = 0; i < count; ++i) {
+        const double pos = std::fmod(t, cycle);
+        if (pos >= config.burst_on) t += cycle - pos;  // skip the OFF tail
+        at.push_back(config.start + t);
+        t += spacing;
+      }
+      break;
+    }
+    case ArrivalProcess::kDiurnal: {
+      // Deterministic inhomogeneous schedule: the i-th arrival solves
+      // Λ(x) = i for the cumulative rate Λ(x) = x/interval −
+      // a·P/(2π·interval)·(cos(2πx/P) − 1), x measured from `start`.
+      // Λ is strictly increasing (λ ≥ (1−a)/interval > 0), so bisection
+      // over a bracket of one worst-case gap converges deterministically.
+      const double w = 2.0 * kPi / config.diurnal_period;
+      const double a = config.diurnal_amplitude;
+      const auto cumulative = [&](double x) {
+        return x / config.interval -
+               a / (config.interval * w) * (std::cos(w * x) - 1.0);
+      };
+      const double max_gap = config.interval / (1.0 - a);
+      double x = 0.0;
+      for (std::size_t i = 0; i < count; ++i) {
+        if (i > 0) {
+          const double target = static_cast<double>(i);
+          double lo = x;
+          double hi = x + max_gap * 1.0001;
+          for (int iter = 0; iter < 64; ++iter) {
+            const double mid = 0.5 * (lo + hi);
+            if (cumulative(mid) < target) {
+              lo = mid;
+            } else {
+              hi = mid;
+            }
+          }
+          x = 0.5 * (lo + hi);
+        }
+        at.push_back(config.start + x);
+      }
+      break;
+    }
+    case ArrivalProcess::kTrace:
+      GRIDLB_REQUIRE(false, "trace arrivals have no generated times");
+  }
+  return at;
+}
+
+std::vector<RequestSpec> replay_trace(const WorkloadConfig& config,
+                                      const pace::ApplicationCatalogue&
+                                          catalogue,
+                                      int agent_count) {
+  std::ifstream in(config.trace_path);
+  GRIDLB_REQUIRE(in.good(),
+                 "cannot open arrival trace: " + config.trace_path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::vector<RequestSpec> workload = parse_workload_jsonl(text.str());
+  for (const RequestSpec& spec : workload) {
+    GRIDLB_REQUIRE(
+        spec.agent_index >= 0 && spec.agent_index < agent_count,
+        "trace entry names agent index " + std::to_string(spec.agent_index) +
+            " but the grid has " + std::to_string(agent_count) +
+            " agents: " + config.trace_path);
+    GRIDLB_REQUIRE(catalogue.find(spec.app_name) != nullptr,
+                   "trace entry names unknown application '" + spec.app_name +
+                       "': " + config.trace_path);
+  }
+  return workload;
+}
+
+}  // namespace
+
+std::string arrival_process_name(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kUniform: return "uniform";
+    case ArrivalProcess::kPoisson: return "poisson";
+    case ArrivalProcess::kOnOff: return "onoff";
+    case ArrivalProcess::kDiurnal: return "diurnal";
+    case ArrivalProcess::kTrace: return "trace";
+  }
+  GRIDLB_REQUIRE(false, "unknown arrival process");
+}
+
+ArrivalProcess arrival_process_from_name(const std::string& name) {
+  if (name == "uniform") return ArrivalProcess::kUniform;
+  if (name == "poisson") return ArrivalProcess::kPoisson;
+  if (name == "onoff") return ArrivalProcess::kOnOff;
+  if (name == "diurnal") return ArrivalProcess::kDiurnal;
+  if (name == "trace") return ArrivalProcess::kTrace;
+  GRIDLB_REQUIRE(false, "unknown arrival process: " + name +
+                            " (expected uniform, poisson, onoff, diurnal "
+                            "or trace)");
+}
+
+void validate_workload(const WorkloadConfig& config) {
+  GRIDLB_REQUIRE(config.count >= 0, "negative request count");
+  GRIDLB_REQUIRE(config.start >= 0.0, "workload start cannot be negative");
+  GRIDLB_REQUIRE(config.deadline_scale > 0.0,
+                 "deadline scale must be positive");
+  if (config.arrival == ArrivalProcess::kTrace) {
+    // Timing replays the file verbatim; interval/seed are irrelevant.
+    GRIDLB_REQUIRE(!config.trace_path.empty(),
+                   "trace arrivals need a workload file: pass "
+                   "--arrival-trace FILE (a JSONL export written by "
+                   "--workload-out)");
+    return;
+  }
+  GRIDLB_REQUIRE(
+      config.interval > 0.0,
+      "arrival interval must be > 0 (got " + format_number(config.interval) +
+          "): it is the mean seconds between submissions for the '" +
+          arrival_process_name(config.arrival) +
+          "' process.  Pass a positive --arrival-interval; 0 = auto is "
+          "resolved only for generated grids (--grid-agents)");
+  if (config.arrival == ArrivalProcess::kOnOff) {
+    GRIDLB_REQUIRE(config.burst_on > 0.0,
+                   "onoff arrivals need --burst-on > 0 (seconds of each "
+                   "bursting phase)");
+    GRIDLB_REQUIRE(config.burst_off >= 0.0,
+                   "--burst-off cannot be negative (0 = no silent phase, "
+                   "i.e. uniform arrivals)");
+  }
+  if (config.arrival == ArrivalProcess::kDiurnal) {
+    GRIDLB_REQUIRE(config.diurnal_period > 0.0,
+                   "diurnal arrivals need --diurnal-period > 0 (seconds "
+                   "per modulation cycle)");
+    GRIDLB_REQUIRE(
+        config.diurnal_amplitude >= 0.0 && config.diurnal_amplitude < 1.0,
+        "--diurnal-amplitude must be in [0, 1): the rate swings between "
+        "(1−a)/interval and (1+a)/interval and must stay positive");
+  }
+}
+
 std::vector<RequestSpec> generate_workload(
     const WorkloadConfig& config, const pace::ApplicationCatalogue& catalogue,
     int agent_count) {
-  GRIDLB_REQUIRE(config.count >= 0, "negative request count");
-  GRIDLB_REQUIRE(config.interval > 0.0, "interval must be positive");
-  GRIDLB_REQUIRE(config.deadline_scale > 0.0,
-                 "deadline scale must be positive");
+  validate_workload(config);
   GRIDLB_REQUIRE(agent_count >= 1, "need at least one agent");
   GRIDLB_REQUIRE(catalogue.size() >= 1, "need at least one application");
 
+  if (config.arrival == ArrivalProcess::kTrace) {
+    return replay_trace(config, catalogue, agent_count);
+  }
+
+  const std::vector<SimTime> at = arrival_times(config);
   Rng rng(config.seed);
   std::vector<RequestSpec> out;
   out.reserve(static_cast<std::size_t>(config.count));
   for (int i = 0; i < config.count; ++i) {
     RequestSpec spec;
-    spec.at = config.start + static_cast<double>(i) * config.interval;
+    spec.at = at[static_cast<std::size_t>(i)];
     spec.agent_index = static_cast<int>(
         rng.next_below(static_cast<std::uint64_t>(agent_count)));
     const auto& app = catalogue.all()[static_cast<std::size_t>(
@@ -29,6 +215,80 @@ std::vector<RequestSpec> generate_workload(
     const pace::DeadlineDomain domain = app->deadline_domain();
     spec.deadline_offset =
         rng.uniform(domain.lo, domain.hi) * config.deadline_scale;
+    out.push_back(std::move(spec));
+  }
+  return out;
+}
+
+std::string workload_to_jsonl(const std::vector<RequestSpec>& workload) {
+  std::ostringstream os;
+  for (const RequestSpec& spec : workload) {
+    os << "{\"at\":" << format_number(spec.at)
+       << ",\"agent\":" << spec.agent_index << ",\"app\":\"" << spec.app_name
+       << "\",\"deadline_offset\":" << format_number(spec.deadline_offset)
+       << "}\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Extracts the numeric value following `"key":` on `line`; fails with a
+/// line-numbered message when the key is missing or non-numeric.
+double json_number(const std::string& line, const char* key,
+                   std::size_t line_number) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = line.find(needle);
+  GRIDLB_REQUIRE(pos != std::string::npos,
+                 "workload trace line " + std::to_string(line_number) +
+                     " lacks \"" + key + "\": " + line);
+  const char* begin = line.c_str() + pos + needle.size();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  GRIDLB_REQUIRE(end != begin,
+                 "workload trace line " + std::to_string(line_number) +
+                     " has a non-numeric \"" + key + "\": " + line);
+  return value;
+}
+
+std::string json_string(const std::string& line, const char* key,
+                        std::size_t line_number) {
+  const std::string needle = std::string("\"") + key + "\":\"";
+  const std::size_t pos = line.find(needle);
+  GRIDLB_REQUIRE(pos != std::string::npos,
+                 "workload trace line " + std::to_string(line_number) +
+                     " lacks \"" + key + "\": " + line);
+  const std::size_t begin = pos + needle.size();
+  const std::size_t end = line.find('"', begin);
+  GRIDLB_REQUIRE(end != std::string::npos,
+                 "workload trace line " + std::to_string(line_number) +
+                     " has an unterminated \"" + key + "\": " + line);
+  return line.substr(begin, end - begin);
+}
+
+}  // namespace
+
+std::vector<RequestSpec> parse_workload_jsonl(const std::string& text) {
+  std::vector<RequestSpec> out;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    RequestSpec spec;
+    spec.at = json_number(line, "at", line_number);
+    spec.agent_index =
+        static_cast<int>(json_number(line, "agent", line_number));
+    spec.app_name = json_string(line, "app", line_number);
+    spec.deadline_offset = json_number(line, "deadline_offset", line_number);
+    GRIDLB_REQUIRE(spec.at >= 0.0,
+                   "workload trace line " + std::to_string(line_number) +
+                       " has a negative submission time");
+    GRIDLB_REQUIRE(out.empty() || spec.at >= out.back().at,
+                   "workload trace line " + std::to_string(line_number) +
+                       " goes back in time (submissions must be "
+                       "non-decreasing)");
     out.push_back(std::move(spec));
   }
   return out;

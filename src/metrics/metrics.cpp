@@ -149,6 +149,15 @@ Report MetricsCollector::report(std::optional<SimTime> window_end) const {
   return out;
 }
 
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  GRIDLB_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0, 100]");
+  std::sort(values.begin(), values.end());
+  const auto n = static_cast<double>(values.size());
+  const auto rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  return values[std::min(values.size() - 1, rank > 0 ? rank - 1 : 0)];
+}
+
 std::string format_report(const Report& report) {
   std::ostringstream os;
   os << std::fixed;

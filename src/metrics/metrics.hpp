@@ -90,6 +90,12 @@ class MetricsCollector {
   SimTime last_completion_ = 0.0;
 };
 
+/// Nearest-rank percentile: the smallest value with at least p% of the
+/// sample at or below it (p in [0, 100]).  Deterministic — no
+/// interpolation — and 0.0 for an empty sample, so zero-completion
+/// windows report 0 instead of NaN.
+[[nodiscard]] double percentile(std::vector<double> values, double p);
+
 /// Renders a report as an aligned text table (used by benches/examples).
 [[nodiscard]] std::string format_report(const Report& report);
 

@@ -43,6 +43,7 @@ std::string_view kind_name(EventKind kind) {
     case EventKind::kTaskResubmitted: return "task_resubmitted";
     case EventKind::kPlacementDecision: return "placement_decision";
     case EventKind::kShardSample: return "shard_sample";
+    case EventKind::kTaskMigrated: return "task_migrated";
   }
   return "unknown";
 }

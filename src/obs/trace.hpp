@@ -73,6 +73,9 @@ enum class EventKind : std::uint8_t {
   // Engine-shard telemetry (DESIGN.md §14).
   kShardSample,        ///< sampler tick: extra=shard index (0-based),
                        ///< a=events, b=barrier-wait ns this interval
+  // Queue migration (DESIGN.md §17).
+  kTaskMigrated,       ///< queued task re-homed: resource=target agent,
+                       ///< a=own backlog, b=target backlog, extra=hops
 };
 
 /// Short stable identifier ("ga_generation", "cache_hit", …) used by the

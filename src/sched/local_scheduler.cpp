@@ -208,6 +208,11 @@ void LocalScheduler::commit(std::size_t pending_index, NodeMask mask,
           .add(static_cast<std::uint64_t>(
                    std::llround((record.end - record.start) * 1e6)) *
                static_cast<std::uint64_t>(node_count(record.mask)));
+      // Sojourn time (completion − submission): the steady-state latency
+      // the open-loop campaigns track as a success criterion.
+      reg->histogram("sched.latency",
+                     {1, 2, 5, 10, 30, 60, 120, 300, 600, 1800, 3600, 7200})
+          .observe(record.end - record.submitted);
     }
     obs::emit({.at = engine_.now(),
                .kind = obs::EventKind::kTaskCompleted,

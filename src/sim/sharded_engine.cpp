@@ -103,6 +103,10 @@ void ShardedEngine::drive(const DriveGoal& goal, SimTime horizon) {
     // run_experiment's historical behaviour.
     Engine& engine = *engines_[0];
     while (!goal.done()) {
+      if (goal.until < kTimeInfinity &&
+          engine.next_event_time() >= goal.until) {
+        break;  // open-loop cutoff: everything before `until` has run
+      }
       GRIDLB_REQUIRE(engine.step(), "event queue drained with tasks missing");
       GRIDLB_REQUIRE(engine.now() <= horizon,
                      "experiment exceeded the horizon limit");
@@ -228,9 +232,18 @@ void ShardedEngine::decide(const DriveGoal& goal) {
   }
   SimTime t_min = kTimeInfinity;
   for (const SimTime t : next_times_) t_min = std::min(t_min, t);
+  if (goal.until < kTimeInfinity && t_min >= goal.until) {
+    // Open-loop cutoff: no pending event anywhere is earlier than `until`,
+    // so the executed-event set (everything < until) is complete.
+    decision_ = Decision{DecisionKind::kFinished, 0.0};
+    return;
+  }
   GRIDLB_REQUIRE(t_min < kTimeInfinity, "event queue drained with tasks missing");
   GRIDLB_REQUIRE(t_min <= horizon_, "experiment exceeded the horizon limit");
-  const SimTime bound = t_min + lookahead_;
+  // Clamping the window to `until` keeps cut-off events out of the shard
+  // windows entirely, so a time-bounded run executes the identical event
+  // set at any shard count.
+  const SimTime bound = std::min(t_min + lookahead_, goal.until);
   const std::uint64_t remaining = goal.remaining();
   std::uint64_t due = 0;
   for (const auto& engine : engines_) {
@@ -264,8 +277,12 @@ void ShardedEngine::run_serial(const DriveGoal& goal) {
         best_key = *key;
       }
     }
-    GRIDLB_REQUIRE(best != engines_.size(),
-                   "event queue drained with tasks missing");
+    if (best == engines_.size()) {
+      GRIDLB_REQUIRE(goal.until < kTimeInfinity,
+                     "event queue drained with tasks missing");
+      break;
+    }
+    if (best_key.at >= goal.until) break;  // open-loop cutoff
     GRIDLB_REQUIRE(best_key.at <= horizon_,
                    "experiment exceeded the horizon limit");
     engines_[best]->step();

@@ -45,9 +45,19 @@ namespace gridlb::sim {
 /// `remaining` reports how many milestone executions are still needed (used
 /// for the exact-stop decision).  Both are only called from the
 /// coordinator slot between barriers, never concurrently.
+///
+/// `until` is the optional open-loop cutoff: the drive also finishes once
+/// every pending event is at `until` or later, i.e. it executes exactly
+/// the events with time < until.  Because that set is a property of the
+/// global event timeline — not of any shard partition — a time-bounded
+/// drive is shard-count invariant by construction, with no serial tail
+/// needed.  kTimeInfinity (the default) disables the cutoff, restoring
+/// the classic behaviour where a drained queue before `done()` is an
+/// error.
 struct DriveGoal {
   std::function<bool()> done;
   std::function<std::uint64_t()> remaining;
+  SimTime until = kTimeInfinity;
 };
 
 /// A sense-reversing spin barrier with an abort switch: kill() releases

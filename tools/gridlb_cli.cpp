@@ -33,6 +33,18 @@
 // central-oracle, oracle) or crush (stateless hashed straw map; alias
 // hash).  Orthogonal to --policy, which stays the *local* scheduler.
 //
+// Traffic shaping (campaign command, DESIGN.md §17): --arrival selects
+// the submission-timing process — uniform (default), poisson, onoff
+// (--burst-on/--burst-off), diurnal (--diurnal-period,
+// --diurnal-amplitude) or trace (--arrival-trace FILE replays a JSONL
+// workload; --workload-out FILE exports one).  --duration T runs the
+// open loop: stop at sim time T whether or not the batch drained, and
+// judge the run by shed rate and latency percentiles (--max-shed-rate X
+// exits non-zero above X).  --migration on re-homes queued tasks from
+// overloaded agents to idle direct neighbours
+// (--migration-overload/--migration-underload watermarks,
+// --migration-batch cap).
+//
 // Fault injection (experiment and campaign commands): --drop-prob,
 // --net-jitter, --agent-mtbf/--agent-mttr.  Any of these switches on the
 // loss-tolerant agent protocol (retries, ACT expiry, resubmission).
@@ -171,6 +183,43 @@ void apply_fault_flags(const Flags& flags, core::ExperimentConfig& config) {
   }
 }
 
+/// Fills the arrival process, open-loop duration and queue-migration knobs
+/// (campaign command) and validates the workload here — the CLI boundary —
+/// so a bad interval or missing trace file fails with the actionable
+/// validate_workload message before any expensive setup.
+void apply_traffic_flags(const Flags& flags, core::ExperimentConfig& config) {
+  core::WorkloadConfig& workload = config.workload;
+  if (flags.has("arrival")) {
+    workload.arrival =
+        core::arrival_process_from_name(flags.get("arrival", "uniform"));
+  }
+  workload.trace_path = flags.get("arrival-trace", workload.trace_path);
+  if (!workload.trace_path.empty() && !flags.has("arrival")) {
+    workload.arrival = core::ArrivalProcess::kTrace;
+  }
+  workload.burst_on = flags.get_double("burst-on", workload.burst_on);
+  workload.burst_off = flags.get_double("burst-off", workload.burst_off);
+  workload.diurnal_period =
+      flags.get_double("diurnal-period", workload.diurnal_period);
+  workload.diurnal_amplitude =
+      flags.get_double("diurnal-amplitude", workload.diurnal_amplitude);
+  config.duration = flags.get_double("duration", 0.0);
+  GRIDLB_REQUIRE(config.duration >= 0.0,
+                 "--duration cannot be negative (0 = closed loop: run until "
+                 "the batch drains)");
+  agents::MigrationConfig& migration = config.system.migration;
+  migration.enabled = flags.get_bool("migration", false);
+  migration.overload_threshold =
+      flags.get_double("migration-overload", migration.overload_threshold);
+  migration.underload_threshold =
+      flags.get_double("migration-underload", migration.underload_threshold);
+  migration.max_batch = flags.get_int("migration-batch", migration.max_batch);
+  GRIDLB_REQUIRE(migration.max_batch >= 1,
+                 "--migration-batch must be >= 1 (tasks re-homed per "
+                 "qualifying advertisement)");
+  core::validate_workload(workload);
+}
+
 /// Builds the generated grid described by the --grid-* / workload-scaling
 /// flags (campaign command with --grid-agents).
 core::ScenarioSpec scenario_spec_from_flags(const Flags& flags) {
@@ -205,6 +254,13 @@ core::ExperimentConfig campaign_config(const Flags& flags) {
     config = core::experiment3();
     config.name = "campaign";
     config.workload.count = flags.get_int("requests", 300);
+    // Unlike the scenario path, the Fig. 7 grid has no auto rate: an
+    // explicit interval applies directly and 0 is rejected (with the
+    // which-flag-to-pass message) by the validation below.
+    if (flags.has("arrival-interval")) {
+      config.workload.interval =
+          flags.get_double("arrival-interval", config.workload.interval);
+    }
   }
   config.workload.seed = static_cast<std::uint64_t>(
       flags.get_int("seed", static_cast<int>(config.workload.seed)));
@@ -233,6 +289,7 @@ core::ExperimentConfig campaign_config(const Flags& flags) {
         config.workload.start +
         static_cast<double>(config.workload.count) * config.workload.interval;
   }
+  apply_traffic_flags(flags, config);
   apply_fault_flags(flags, config);
   apply_obs_flags(flags, config);
   return config;
@@ -279,6 +336,24 @@ int cmd_experiment(const Flags& flags) {
 
 int cmd_campaign(const Flags& flags) {
   const core::ExperimentConfig config = campaign_config(flags);
+
+  if (flags.has("workload-out")) {
+    // Export the workload the run below will see, as a replayable JSONL
+    // trace (--arrival-trace).  Generation is deterministic, so the file
+    // matches the run bit-for-bit.
+    const std::string path = flags.get("workload-out", "");
+    const auto workload = core::generate_workload(
+        config.workload, pace::paper_catalogue(),
+        static_cast<int>(config.system.resources.size()));
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write workload JSONL: %s\n", path.c_str());
+      return 1;
+    }
+    out << core::workload_to_jsonl(workload);
+    log::info("wrote workload JSONL to ", path);
+  }
+
   const core::ExperimentResult result = core::run_experiment(config);
 
   if (flags.has("trace")) {
@@ -355,6 +430,31 @@ int cmd_campaign(const Flags& flags) {
                   "(0 discovery messages)\n",
                   static_cast<unsigned long long>(result.placement_decisions));
     }
+    if (config.duration > 0.0) {
+      std::printf("open loop (%s arrivals, %.0fs window): shed rate %.2f%%; "
+                  "latency p50/p90/p99 = %.1f/%.1f/%.1f s; %llu unfinished\n",
+                  core::arrival_process_name(config.workload.arrival).c_str(),
+                  config.duration, result.shed_rate * 100.0,
+                  result.latency_p50, result.latency_p90, result.latency_p99,
+                  static_cast<unsigned long long>(result.tasks_unfinished));
+    }
+    if (config.system.migration.enabled) {
+      std::printf("%llu queued tasks migrated to idler neighbours\n",
+                  static_cast<unsigned long long>(result.migrations));
+    }
+  }
+  if (flags.has("max-shed-rate")) {
+    const double limit = flags.get_double("max-shed-rate", 1.0);
+    if (result.shed_rate > limit) {
+      std::fprintf(stderr,
+                   "FAIL: shed rate %.4f exceeds --max-shed-rate %.4f "
+                   "(%llu of %llu tasks not completed)\n",
+                   result.shed_rate, limit,
+                   static_cast<unsigned long long>(result.requests_submitted -
+                                                   result.tasks_completed),
+                   static_cast<unsigned long long>(result.requests_submitted));
+      return 1;
+    }
   }
   if (flags.get_bool("require-complete", false) &&
       result.tasks_completed < result.requests_submitted) {
@@ -399,7 +499,31 @@ Flags make_flags() {
   flags.declare("requests-per-agent", "N",
                 "scenario workload: requests per resource");
   flags.declare("arrival-interval", "sec",
-                "seconds between submissions (0 = auto per-agent rate)");
+                "mean seconds between submissions (0 = auto per-agent "
+                "rate, scenario grids only)");
+  flags.declare("arrival", "uniform|poisson|onoff|diurnal|trace",
+                "submission-timing process (campaign)");
+  flags.declare("arrival-trace", "file",
+                "JSONL workload to replay verbatim (implies --arrival trace)");
+  flags.declare("burst-on", "sec", "onoff arrivals: ON phase length");
+  flags.declare("burst-off", "sec", "onoff arrivals: silent phase length");
+  flags.declare("diurnal-period", "sec", "diurnal arrivals: cycle length");
+  flags.declare("diurnal-amplitude", "a",
+                "diurnal arrivals: rate swing in [0,1)");
+  flags.declare("duration", "sec",
+                "open-loop cutoff: stop at this sim time (0 = closed loop)");
+  flags.declare("workload-out", "file",
+                "export the generated workload as replayable JSONL");
+  flags.declare("migration", "on|off",
+                "threshold-triggered migration of queued tasks");
+  flags.declare("migration-overload", "sec",
+                "own backlog above which migration triggers");
+  flags.declare("migration-underload", "sec",
+                "neighbour backlog below which it accepts migrants");
+  flags.declare("migration-batch", "N",
+                "max queued tasks re-homed per advertisement");
+  flags.declare("max-shed-rate", "x",
+                "exit non-zero if (submitted-completed)/submitted exceeds x");
   flags.declare("deadline-scale", "x",
                 "deadline tightness (<1 squeezes Table 1 domains)");
   flags.declare("timeline-out", "file",
